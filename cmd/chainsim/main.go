@@ -1,0 +1,96 @@
+// Command chainsim generates the three calibrated chain histories and
+// serves them over the same network APIs the paper crawled:
+//
+//   - EOS:   HTTP JSON RPC (POST /v1/chain/get_info, /v1/chain/get_block)
+//   - Tezos: REST RPC (GET /chains/main/blocks/{level})
+//   - XRP:   rippled-style WebSocket (ledger, server_info) plus an
+//     explorer with account metadata and exchange rates
+//
+// It prints the listening endpoints and blocks until interrupted, so
+// cmd/crawl (or any HTTP/WebSocket client) can collect from it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"repro/internal/explorer"
+	"repro/internal/rpcserve"
+	"repro/internal/workload"
+)
+
+func main() {
+	eosScale := flag.Int64("eos-scale", 50_000, "EOS scale divisor")
+	tezosScale := flag.Int64("tezos-scale", 800, "Tezos scale divisor")
+	xrpScale := flag.Int64("xrp-scale", 20_000, "XRP scale divisor")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	addr := flag.String("addr", "127.0.0.1", "listen address")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "chainsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("chainsim: generating EOS history…")
+	eosScenario, err := workload.BuildEOS(workload.EOSOptions{Scale: *eosScale, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	eosScenario.Run()
+
+	fmt.Println("chainsim: generating Tezos history…")
+	tezosScenario, err := workload.BuildTezos(workload.TezosOptions{Scale: *tezosScale, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	if _, err := tezosScenario.Run(); err != nil {
+		fail(err)
+	}
+
+	fmt.Println("chainsim: generating XRP history…")
+	xrpScenario, err := workload.BuildXRP(workload.XRPOptions{Scale: *xrpScale, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	xrpScenario.Run()
+
+	dir := explorer.NewDirectory(xrpScenario.State)
+	for a, username := range xrpScenario.Usernames {
+		dir.Register(a, username)
+	}
+	oracle := explorer.NewRateOracle(xrpScenario.State)
+
+	serve := func(name string, h http.Handler) string {
+		ln, err := net.Listen("tcp", *addr+":0")
+		if err != nil {
+			fail(err)
+		}
+		go func() {
+			if err := (&http.Server{Handler: h}).Serve(ln); err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "chainsim: %s server: %v\n", name, err)
+			}
+		}()
+		return ln.Addr().String()
+	}
+
+	eosAddr := serve("eos", rpcserve.NewEOSServer(eosScenario.Chain))
+	tezosAddr := serve("tezos", rpcserve.NewTezosServer(tezosScenario.Chain))
+	xrpAddr := serve("xrp", rpcserve.NewXRPServer(xrpScenario.State))
+	explorerAddr := serve("explorer", explorer.NewServer(dir, oracle))
+
+	fmt.Printf("EOS RPC:       http://%s (head block %d)\n", eosAddr, eosScenario.Chain.HeadNum())
+	fmt.Printf("Tezos RPC:     http://%s (head level %d)\n", tezosAddr, tezosScenario.Chain.HeadLevel())
+	fmt.Printf("XRP WebSocket: ws://%s (head ledger %d)\n", xrpAddr, xrpScenario.State.HeadIndex())
+	fmt.Printf("Explorer API:  http://%s\n", explorerAddr)
+	fmt.Println("chainsim: serving; Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("chainsim: bye")
+}

@@ -1,0 +1,76 @@
+// Command report runs the full reproduction pipeline — calibrated
+// workloads, chain simulators, network crawl, measurement — and prints
+// every table and figure from the paper's evaluation.
+//
+// Usage:
+//
+//	report [-eos-scale N] [-tezos-scale N] [-xrp-scale N] [-gov-scale N]
+//	       [-seed N] [-workers N] [-figure name]
+//
+// Smaller scales simulate more traffic and converge closer to the paper's
+// percentages; the defaults finish in a few seconds.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+func main() {
+	opts := pipeline.DefaultOptions()
+	flag.Int64Var(&opts.EOSScale, "eos-scale", opts.EOSScale, "EOS scale divisor (smaller = more traffic)")
+	flag.Int64Var(&opts.TezosScale, "tezos-scale", opts.TezosScale, "Tezos scale divisor")
+	flag.Int64Var(&opts.XRPScale, "xrp-scale", opts.XRPScale, "XRP scale divisor")
+	flag.Int64Var(&opts.GovScale, "gov-scale", opts.GovScale, "governance replay scale divisor")
+	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "deterministic scenario seed")
+	flag.IntVar(&opts.Workers, "workers", opts.Workers, "crawl workers per chain")
+	figure := flag.String("figure", "all", "figure to print: all, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, tps, cases, endpoints")
+	flag.Parse()
+
+	res, err := pipeline.Run(context.Background(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+
+	switch strings.ToLower(*figure) {
+	case "all":
+		fmt.Println(pipeline.FullReport(res))
+	case "1":
+		fmt.Println(pipeline.Figure1(res))
+	case "2":
+		fmt.Println(pipeline.Figure2(res))
+	case "3":
+		fmt.Println(pipeline.Figure3(res))
+	case "4":
+		fmt.Println(pipeline.Figure4(res))
+	case "5":
+		fmt.Println(pipeline.Figure5(res))
+	case "6":
+		fmt.Println(pipeline.Figure6(res))
+	case "7":
+		fmt.Println(pipeline.Figure7(res))
+	case "8":
+		fmt.Println(pipeline.Figure8(res))
+	case "9":
+		fmt.Println(pipeline.Figure9(res))
+	case "11":
+		fmt.Println(pipeline.Figure11(res))
+	case "12":
+		fmt.Println(pipeline.Figure12(res))
+	case "tps":
+		fmt.Println(pipeline.HeadlineTPS(res))
+	case "cases":
+		fmt.Println(pipeline.CaseStudies(res))
+	case "endpoints":
+		fmt.Println(pipeline.EndpointReport(res))
+	default:
+		fmt.Fprintf(os.Stderr, "report: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro reproduces "Revisiting Transactional Statistics of
+// High-scalability Blockchains" (Perez, Xu, Livshits — IMC 2020): chain
+// simulators for EOS, Tezos and the XRP Ledger, the network APIs the paper
+// crawled, a reverse-chronological collector, and the measurement pipeline
+// that regenerates every table and figure of the evaluation.
+//
+// See DESIGN.md for the system inventory and the per-experiment index,
+// EXPERIMENTS.md for paper-versus-measured results, and bench_test.go for
+// the per-figure regeneration harness.
+package repro

@@ -1,0 +1,56 @@
+// Quickstart: build a small simulated XRP ledger, submit a few transactions
+// by hand, close a ledger, and read back the same statistics the paper
+// computes — all in-process, no network needed.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/xrp"
+)
+
+func main() {
+	// A fresh ledger with main-net-shaped parameters, time-dilated 1000×.
+	state := xrp.New(xrp.DefaultConfig(1000))
+
+	// Two funded accounts and a gateway.
+	alice := xrp.NewAddress("alice")
+	bob := xrp.NewAddress("bob")
+	gateway := xrp.NewAddress("gateway")
+	for _, a := range []xrp.Address{alice, bob, gateway} {
+		state.Fund(a, 10_000*xrp.DropsPerXRP)
+	}
+
+	// Alice trusts the gateway's USD, the gateway issues 100 USD to her,
+	// and she pays Bob 25 — which fails with PATH_DRY because Bob never
+	// opened a trust line (the most common failure in the paper's dataset).
+	state.Submit(xrp.Transaction{
+		Type: xrp.TxTrustSet, Account: alice,
+		LimitAmount: xrp.IOU("USD", gateway, 1000),
+	})
+	state.CloseLedger()
+	state.Submit(xrp.Transaction{
+		Type: xrp.TxPayment, Account: gateway, Destination: alice,
+		Amount: xrp.IOU("USD", gateway, 100),
+	})
+	state.Submit(xrp.Transaction{
+		Type: xrp.TxPayment, Account: alice, Destination: bob,
+		Amount: xrp.IOU("USD", gateway, 25),
+	})
+	// A plain XRP payment, which succeeds.
+	state.Submit(xrp.Transaction{
+		Type: xrp.TxPayment, Account: alice, Destination: bob,
+		Amount: xrp.XRP(50),
+	})
+	ledger := state.CloseLedger()
+
+	fmt.Printf("ledger %d closed at %s with %d transactions:\n",
+		ledger.Index, ledger.CloseTime.Format("2006-01-02 15:04:05"), len(ledger.Transactions))
+	for _, tx := range ledger.Transactions {
+		fmt.Printf("  %-8s %-28s -> %s\n", tx.Type, tx.Amount, tx.Result)
+	}
+
+	fmt.Printf("\nalice USD balance: %d (fixed-point ×1e6)\n", state.IOUBalance(alice, gateway, "USD"))
+	fmt.Printf("bob XRP balance:   %.6f XRP\n", float64(state.GetAccount(bob).Balance)/xrp.DropsPerXRP)
+	fmt.Printf("fees burned:       %d drops\n", state.BurnedFees)
+}

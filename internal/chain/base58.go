@@ -1,0 +1,131 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// base58 implements the Bitcoin-style base58check encoding used for Tezos
+// (tz1…, KT1…) and, in a variant alphabet, XRP (r…) addresses. The simulators
+// derive addresses deterministically from seeds, so round-trip fidelity is
+// what matters here, not key management.
+
+const btcAlphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+// XRP uses a permuted alphabet beginning with 'r'.
+const xrpAlphabet = "rpshnaf39wBUDNEGHJKLM4PQRST7VWXYZ2bcdeCg65jkm8oFqi1tuvAxyz"
+
+var (
+	errChecksum = errors.New("chain: base58check checksum mismatch")
+	errAlphabet = errors.New("chain: invalid base58 character")
+)
+
+func b58Encode(input []byte, alphabet string) string {
+	x := new(big.Int).SetBytes(input)
+	base := big.NewInt(58)
+	mod := new(big.Int)
+	var out []byte
+	for x.Sign() > 0 {
+		x.DivMod(x, base, mod)
+		out = append(out, alphabet[mod.Int64()])
+	}
+	// Leading zero bytes become leading "zero digit" characters.
+	for _, b := range input {
+		if b != 0 {
+			break
+		}
+		out = append(out, alphabet[0])
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return string(out)
+}
+
+func b58Decode(s string, alphabet string) ([]byte, error) {
+	idx := make(map[byte]int64, 58)
+	for i := 0; i < len(alphabet); i++ {
+		idx[alphabet[i]] = int64(i)
+	}
+	x := new(big.Int)
+	base := big.NewInt(58)
+	for i := 0; i < len(s); i++ {
+		v, ok := idx[s[i]]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", errAlphabet, s[i])
+		}
+		x.Mul(x, base)
+		x.Add(x, big.NewInt(v))
+	}
+	out := x.Bytes()
+	// Restore leading zeros.
+	for i := 0; i < len(s) && s[i] == alphabet[0]; i++ {
+		out = append([]byte{0}, out...)
+	}
+	return out, nil
+}
+
+func checksum(payload []byte) []byte {
+	h1 := sha256.Sum256(payload)
+	h2 := sha256.Sum256(h1[:])
+	return h2[:4]
+}
+
+// Base58Check encodes prefix||payload with a 4-byte double-SHA256 checksum
+// using the Bitcoin alphabet (Tezos convention).
+func Base58Check(prefix, payload []byte) string {
+	full := append(append([]byte{}, prefix...), payload...)
+	full = append(full, checksum(full)...)
+	return b58Encode(full, btcAlphabet)
+}
+
+// DecodeBase58Check reverses Base58Check, returning the payload after
+// stripping prefix and validating the checksum.
+func DecodeBase58Check(s string, prefix []byte) ([]byte, error) {
+	raw, err := b58Decode(s, btcAlphabet)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(prefix)+4 {
+		return nil, fmt.Errorf("chain: base58check payload too short (%d bytes)", len(raw))
+	}
+	body, sum := raw[:len(raw)-4], raw[len(raw)-4:]
+	if string(checksum(body)) != string(sum) {
+		return nil, errChecksum
+	}
+	for i := range prefix {
+		if body[i] != prefix[i] {
+			return nil, fmt.Errorf("chain: base58check prefix mismatch")
+		}
+	}
+	return body[len(prefix):], nil
+}
+
+// XRPBase58Check encodes payload with version byte 0 using the XRP alphabet,
+// producing classic r… addresses.
+func XRPBase58Check(payload []byte) string {
+	full := append([]byte{0}, payload...)
+	full = append(full, checksum(full)...)
+	return b58Encode(full, xrpAlphabet)
+}
+
+// DecodeXRPBase58Check reverses XRPBase58Check.
+func DecodeXRPBase58Check(s string) ([]byte, error) {
+	raw, err := b58Decode(s, xrpAlphabet)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 5 {
+		return nil, fmt.Errorf("chain: xrp address too short")
+	}
+	body, sum := raw[:len(raw)-4], raw[len(raw)-4:]
+	if string(checksum(body)) != string(sum) {
+		return nil, errChecksum
+	}
+	if body[0] != 0 {
+		return nil, fmt.Errorf("chain: xrp address version %d != 0", body[0])
+	}
+	return body[1:], nil
+}

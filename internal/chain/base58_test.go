@@ -1,0 +1,105 @@
+package chain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var tz1Prefix = []byte{6, 161, 159} // Tezos ed25519 public key hash prefix
+
+func TestBase58CheckRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xab}, 20)
+	s := Base58Check(tz1Prefix, payload)
+	if !strings.HasPrefix(s, "tz1") {
+		t.Fatalf("tz1 prefix bytes produced %q", s)
+	}
+	got, err := DecodeBase58Check(s, tz1Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %x vs %x", got, payload)
+	}
+}
+
+func TestBase58CheckDetectsCorruption(t *testing.T) {
+	s := Base58Check(tz1Prefix, bytes.Repeat([]byte{1}, 20))
+	// Flip one character to another alphabet character.
+	var corrupted string
+	for i := len(s) - 1; i >= 0; i-- {
+		repl := byte('2')
+		if s[i] == repl {
+			repl = '3'
+		}
+		corrupted = s[:i] + string(repl) + s[i+1:]
+		break
+	}
+	if _, err := DecodeBase58Check(corrupted, tz1Prefix); err == nil {
+		t.Fatal("corrupted base58check string decoded successfully")
+	}
+}
+
+func TestXRPAddressShape(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x42}, 20)
+	addr := XRPBase58Check(payload)
+	if !strings.HasPrefix(addr, "r") {
+		t.Fatalf("XRP address %q does not start with r", addr)
+	}
+	got, err := DecodeXRPBase58Check(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %x vs %x", got, payload)
+	}
+}
+
+func TestXRPAddressRejectsBitcoinAlphabet(t *testing.T) {
+	// 'l' is absent from the Bitcoin alphabet but present in XRP's; '0' and
+	// 'O' are in neither.
+	if _, err := DecodeXRPBase58Check("r0O"); err == nil {
+		t.Fatal("decoded address containing illegal characters")
+	}
+}
+
+func TestBase58LeadingZeros(t *testing.T) {
+	payload := append([]byte{0, 0, 0}, 0x7f)
+	s := b58Encode(payload, btcAlphabet)
+	got, err := b58Decode(s, btcAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("leading zeros lost: %x vs %x", got, payload)
+	}
+}
+
+func TestBase58CheckRoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		s := Base58Check(tz1Prefix, payload)
+		got, err := DecodeBase58Check(s, tz1Prefix)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXRPBase58RoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		s := XRPBase58Check(payload)
+		got, err := DecodeXRPBase58Check(s)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

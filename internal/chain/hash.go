@@ -1,0 +1,82 @@
+// Package chain provides primitives shared by the EOS, Tezos and XRP ledger
+// simulators: content hashes, a simulated block clock, deterministic
+// randomness, fixed-point asset arithmetic and base58 encoding.
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Hash is a 32-byte content hash used for block and transaction identifiers
+// on all three simulated chains.
+type Hash [32]byte
+
+// HashBytes returns the SHA-256 digest of data.
+func HashBytes(data []byte) Hash {
+	return Hash(sha256.Sum256(data))
+}
+
+// HashOf hashes the concatenation of the string representations of parts.
+// It is a convenience for deriving deterministic identifiers from structured
+// fields without defining a serialization for every type.
+func HashOf(parts ...any) Hash {
+	h := sha256.New()
+	for _, p := range parts {
+		switch v := p.(type) {
+		case string:
+			h.Write([]byte(v))
+		case []byte:
+			h.Write(v)
+		case uint64:
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		case int64:
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		case int:
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		case uint32:
+			var buf [4]byte
+			binary.BigEndian.PutUint32(buf[:], v)
+			h.Write(buf[:])
+		case Hash:
+			h.Write(v[:])
+		default:
+			fmt.Fprintf(h, "%v", v)
+		}
+		h.Write([]byte{0}) // field separator so ("ab","c") != ("a","bc")
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// String returns the lowercase hex encoding of the hash.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short returns the first 12 hex characters, enough for log readability.
+func (h Hash) Short() string { return hex.EncodeToString(h[:6]) }
+
+// IsZero reports whether the hash is all zero bytes.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// ParseHash decodes a 64-character hex string into a Hash.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	if len(s) != 64 {
+		return h, fmt.Errorf("chain: hash must be 64 hex chars, got %d", len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("chain: invalid hash %q: %w", s, err)
+	}
+	copy(h[:], b)
+	return h, nil
+}

@@ -1,0 +1,272 @@
+// Package collect reproduces the paper's data-collection methodology:
+// probing advertised RPC endpoints and short-listing the ones with generous
+// rate limits and stable latency (6 of 32 for EOS), then crawling block
+// history in reverse chronological order over HTTP and WebSocket while
+// accounting for the gzip-compressed footprint of everything fetched
+// (Figure 2's storage column).
+package collect
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/rpcserve"
+	"repro/internal/wsrpc"
+)
+
+// ErrRateLimited signals an HTTP 429; the crawler backs off and retries.
+type rateLimitError struct{ retryAfter time.Duration }
+
+func (e rateLimitError) Error() string {
+	return fmt.Sprintf("collect: rate limited (retry after %v)", e.retryAfter)
+}
+
+// EOSClient talks to one nodeos-style endpoint.
+type EOSClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewEOSClient wraps an endpoint URL.
+func NewEOSClient(baseURL string) *EOSClient {
+	return &EOSClient{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *EOSClient) post(ctx context.Context, path string, body any) ([]byte, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("collect: marshaling request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return raw, nil
+	case http.StatusTooManyRequests:
+		return nil, rateLimitError{retryAfter: time.Second}
+	default:
+		return nil, fmt.Errorf("collect: %s%s returned %s", c.BaseURL, path, resp.Status)
+	}
+}
+
+// Head returns the endpoint's current head block number.
+func (c *EOSClient) Head(ctx context.Context) (int64, error) {
+	raw, err := c.post(ctx, "/v1/chain/get_info", map[string]any{})
+	if err != nil {
+		return 0, err
+	}
+	var info struct {
+		HeadBlockNum int64 `json:"head_block_num"`
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		return 0, fmt.Errorf("collect: decoding get_info: %w", err)
+	}
+	return info.HeadBlockNum, nil
+}
+
+// FetchBlock retrieves one block as raw JSON.
+func (c *EOSClient) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
+	return c.post(ctx, "/v1/chain/get_block", map[string]any{"block_num_or_id": num})
+}
+
+// DecodeEOSBlock parses the raw JSON the server produced.
+func DecodeEOSBlock(raw []byte) (*rpcserve.EOSBlockJSON, error) {
+	var b rpcserve.EOSBlockJSON
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("collect: decoding EOS block: %w", err)
+	}
+	return &b, nil
+}
+
+// TezosClient talks to an octez-style endpoint.
+type TezosClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewTezosClient wraps an endpoint URL.
+func NewTezosClient(baseURL string) *TezosClient {
+	return &TezosClient{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *TezosClient) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return raw, nil
+	case http.StatusTooManyRequests:
+		return nil, rateLimitError{retryAfter: time.Second}
+	default:
+		return nil, fmt.Errorf("collect: %s%s returned %s", c.BaseURL, path, resp.Status)
+	}
+}
+
+// Head returns the current head level.
+func (c *TezosClient) Head(ctx context.Context) (int64, error) {
+	raw, err := c.get(ctx, "/chains/main/blocks/head")
+	if err != nil {
+		return 0, err
+	}
+	var b struct {
+		Level int64 `json:"level"`
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return 0, fmt.Errorf("collect: decoding head: %w", err)
+	}
+	return b.Level, nil
+}
+
+// FetchBlock retrieves one block as raw JSON.
+func (c *TezosClient) FetchBlock(ctx context.Context, level int64) ([]byte, error) {
+	return c.get(ctx, fmt.Sprintf("/chains/main/blocks/%d", level))
+}
+
+// DecodeTezosBlock parses the raw JSON the server produced.
+func DecodeTezosBlock(raw []byte) (*rpcserve.TezosBlockJSON, error) {
+	var b rpcserve.TezosBlockJSON
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("collect: decoding Tezos block: %w", err)
+	}
+	return &b, nil
+}
+
+// XRPClient speaks the rippled WebSocket protocol over a pooled connection.
+type XRPClient struct {
+	URL string
+
+	mu   sync.Mutex
+	conn *wsrpc.Conn
+	next int
+}
+
+// NewXRPClient wraps a ws:// endpoint.
+func NewXRPClient(url string) *XRPClient { return &XRPClient{URL: url} }
+
+func (c *XRPClient) ensure() (*wsrpc.Conn, error) {
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	conn, err := wsrpc.Dial(c.URL)
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	return conn, nil
+}
+
+// Close releases the underlying connection.
+func (c *XRPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// call performs one command round trip. The WebSocket protocol is
+// sequential per connection, so calls are serialized.
+func (c *XRPClient) call(req map[string]any) (json.RawMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, err := c.ensure()
+	if err != nil {
+		return nil, err
+	}
+	c.next++
+	req["id"] = c.next
+	if err := conn.WriteJSON(req); err != nil {
+		c.conn = nil
+		return nil, err
+	}
+	var resp struct {
+		ID     any             `json:"id"`
+		Status string          `json:"status"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := conn.ReadJSON(&resp); err != nil {
+		c.conn = nil
+		return nil, err
+	}
+	if resp.Status != "success" {
+		return nil, fmt.Errorf("collect: xrp command failed: %s", resp.Error)
+	}
+	return resp.Result, nil
+}
+
+// Head returns the latest validated ledger index.
+func (c *XRPClient) Head(ctx context.Context) (int64, error) {
+	raw, err := c.call(map[string]any{"command": "server_info"})
+	if err != nil {
+		return 0, err
+	}
+	var res struct {
+		Info struct {
+			ValidatedLedger struct {
+				Seq int64 `json:"seq"`
+			} `json:"validated_ledger"`
+		} `json:"info"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return 0, fmt.Errorf("collect: decoding server_info: %w", err)
+	}
+	return res.Info.ValidatedLedger.Seq, nil
+}
+
+// FetchBlock retrieves one ledger (with expanded transactions) as raw JSON.
+func (c *XRPClient) FetchBlock(ctx context.Context, index int64) ([]byte, error) {
+	raw, err := c.call(map[string]any{
+		"command":      "ledger",
+		"ledger_index": index,
+		"transactions": true,
+		"expand":       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// DecodeXRPLedger parses the ledger result envelope.
+func DecodeXRPLedger(raw []byte) (*rpcserve.XRPLedgerJSON, error) {
+	var res struct {
+		Ledger rpcserve.XRPLedgerJSON `json:"ledger"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("collect: decoding XRP ledger: %w", err)
+	}
+	return &res.Ledger, nil
+}

@@ -1,0 +1,114 @@
+package collect
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// EndpointScore is the probe verdict for one advertised endpoint.
+type EndpointScore struct {
+	URL string
+	// Latency is the median observed round-trip for a head request.
+	Latency time.Duration
+	// SuccessRate is the fraction of probe requests answered 200 within
+	// the burst (rate-limited endpoints drop this sharply).
+	SuccessRate float64
+	// Reachable is false when the endpoint never answered.
+	Reachable bool
+}
+
+// Throughput is a comparable goodness metric: successful requests per
+// second of latency — generous rate limits and stable latency score high.
+func (s EndpointScore) Throughput() float64 {
+	if !s.Reachable || s.Latency <= 0 {
+		return 0
+	}
+	return s.SuccessRate / s.Latency.Seconds()
+}
+
+// HeadProber is the minimal interface probes need (satisfied by the chain
+// clients).
+type HeadProber interface {
+	Head(ctx context.Context) (int64, error)
+}
+
+// ProbeEndpoint issues burst sequential head requests and measures latency
+// and success rate.
+func ProbeEndpoint(ctx context.Context, url string, p HeadProber, burst int) EndpointScore {
+	if burst <= 0 {
+		burst = 10
+	}
+	score := EndpointScore{URL: url}
+	var latencies []time.Duration
+	succeeded := 0
+	for i := 0; i < burst; i++ {
+		start := time.Now()
+		_, err := p.Head(ctx)
+		if err == nil {
+			succeeded++
+			latencies = append(latencies, time.Since(start))
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if succeeded == 0 {
+		return score
+	}
+	score.Reachable = true
+	score.SuccessRate = float64(succeeded) / float64(burst)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	score.Latency = latencies[len(latencies)/2]
+	return score
+}
+
+// Shortlist returns the k highest-throughput reachable endpoints, mirroring
+// the paper's "out of 32 officially advertized endpoints, we shortlist 6 of
+// them who have a generous rate limit with stable latency and throughput".
+func Shortlist(scores []EndpointScore, k int) []EndpointScore {
+	reachable := make([]EndpointScore, 0, len(scores))
+	for _, s := range scores {
+		if s.Reachable {
+			reachable = append(reachable, s)
+		}
+	}
+	sort.Slice(reachable, func(i, j int) bool {
+		ti, tj := reachable[i].Throughput(), reachable[j].Throughput()
+		if ti != tj {
+			return ti > tj
+		}
+		return reachable[i].URL < reachable[j].URL
+	})
+	if k > len(reachable) {
+		k = len(reachable)
+	}
+	return reachable[:k]
+}
+
+// MultiFetcher fans fetches out over several short-listed endpoints
+// round-robin, the way the paper spread its EOS crawl over 6 endpoints.
+type MultiFetcher struct {
+	Fetchers []BlockFetcher
+	next     int64
+}
+
+// Head asks each endpoint in turn until one answers (heads agree across
+// honest endpoints; some may be momentarily rate limited).
+func (m *MultiFetcher) Head(ctx context.Context) (int64, error) {
+	var lastErr error
+	for _, f := range m.Fetchers {
+		head, err := f.Head(ctx)
+		if err == nil {
+			return head, nil
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+// FetchBlock rotates across endpoints per call.
+func (m *MultiFetcher) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
+	i := int(num) % len(m.Fetchers)
+	return m.Fetchers[i].FetchBlock(ctx, num)
+}

@@ -1,0 +1,26 @@
+package core
+
+import "time"
+
+// ObservedTPS is the raw transaction rate over the observation window as
+// seen in the (possibly scaled-down) dataset.
+func ObservedTPS(transactions int64, first, last time.Time) float64 {
+	window := last.Sub(first)
+	if window <= 0 {
+		return 0
+	}
+	return float64(transactions) / window.Seconds()
+}
+
+// EstimatedFullScaleTPS corrects the observed rate for the simulation's
+// scale divisor: a run at scale S carries 1/S of main-net traffic across
+// the same calendar window, so the full-scale estimate is the observed rate
+// multiplied by S. With S=1 this is the paper's headline statistic directly
+// (EOS ≈ 20 TPS, Tezos ≈ 0.08 TPS, XRP ≈ 19 TPS over the three-month
+// window).
+func EstimatedFullScaleTPS(transactions int64, first, last time.Time, scale int64) float64 {
+	if scale < 1 {
+		scale = 1
+	}
+	return ObservedTPS(transactions, first, last) * float64(scale)
+}

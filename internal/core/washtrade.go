@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// WashTradeReport quantifies the §4.1 WhaleEx findings from the settled
+// trades the aggregator collected.
+type WashTradeReport struct {
+	TotalTrades int64
+	// SelfTradeShare is the fraction of trades where buyer == seller.
+	SelfTradeShare float64
+	// Top5Share is the fraction of trades involving (as buyer or seller)
+	// one of the five most active accounts — the paper reports over 70 %.
+	Top5Share float64
+	// TopAccounts ranks accounts by trade involvement with their
+	// self-trade ratios; the paper reports >85 % for each of the top 5.
+	TopAccounts []WashTrader
+	// BalanceChanges reports, per top account, the fraction of traded
+	// currencies whose net balance change stayed under 0.7 % of turnover —
+	// near-zero movement despite enormous volume is the wash fingerprint.
+	BalanceChanges []BalanceChange
+}
+
+// WashTrader is one account's wash-trading profile.
+type WashTrader struct {
+	Account        string
+	Trades         int64
+	SelfTrades     int64
+	SelfTradeShare float64
+}
+
+// BalanceChange summarizes an account's per-currency net movement.
+type BalanceChange struct {
+	Account string
+	// Currencies is the number of currencies the account traded.
+	Currencies int
+	// UnchangedCurrencies is how many of them ended within 0.7 % of zero
+	// net change relative to turnover.
+	UnchangedCurrencies int
+}
+
+// AnalyzeWashTrades computes the report over the aggregator's DEX trades.
+func AnalyzeWashTrades(trades []DEXTrade, topK int) WashTradeReport {
+	var rep WashTradeReport
+	rep.TotalTrades = int64(len(trades))
+	if len(trades) == 0 {
+		return rep
+	}
+
+	involvement := make(map[string]*WashTrader)
+	get := func(acct string) *WashTrader {
+		w := involvement[acct]
+		if w == nil {
+			w = &WashTrader{Account: acct}
+			involvement[acct] = w
+		}
+		return w
+	}
+	var selfTrades int64
+	for _, t := range trades {
+		self := t.Buyer == t.Seller
+		if self {
+			selfTrades++
+		}
+		get(t.Buyer).Trades++
+		if self {
+			get(t.Buyer).SelfTrades++
+		} else {
+			get(t.Seller).Trades++
+		}
+	}
+	rep.SelfTradeShare = float64(selfTrades) / float64(len(trades))
+
+	ranked := make([]*WashTrader, 0, len(involvement))
+	for _, w := range involvement {
+		if w.Trades > 0 {
+			w.SelfTradeShare = float64(w.SelfTrades) / float64(w.Trades)
+		}
+		ranked = append(ranked, w)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Trades != ranked[j].Trades {
+			return ranked[i].Trades > ranked[j].Trades
+		}
+		return ranked[i].Account < ranked[j].Account
+	})
+	if topK > len(ranked) {
+		topK = len(ranked)
+	}
+	top := ranked[:topK]
+	for _, w := range top {
+		rep.TopAccounts = append(rep.TopAccounts, *w)
+	}
+
+	// Share of all trades involving a top account.
+	topSet := make(map[string]bool, topK)
+	for _, w := range top {
+		topSet[w.Account] = true
+	}
+	var involvingTop int64
+	for _, t := range trades {
+		if topSet[t.Buyer] || topSet[t.Seller] {
+			involvingTop++
+		}
+	}
+	rep.Top5Share = float64(involvingTop) / float64(len(trades))
+
+	// Net balance change per (account, currency): bought adds, sold
+	// subtracts. Turnover is total traded volume.
+	type flows struct{ net, turnover float64 }
+	byAcctCur := make(map[string]map[string]*flows)
+	track := func(acct, cur string, delta, volume float64) {
+		if !topSet[acct] {
+			return
+		}
+		m := byAcctCur[acct]
+		if m == nil {
+			m = make(map[string]*flows)
+			byAcctCur[acct] = m
+		}
+		f := m[cur]
+		if f == nil {
+			f = &flows{}
+			m[cur] = f
+		}
+		f.net += delta
+		f.turnover += volume
+	}
+	for _, t := range trades {
+		track(t.Buyer, t.Currency, t.Amount, t.Amount)
+		track(t.Seller, t.Currency, -t.Amount, t.Amount)
+	}
+	for _, w := range top {
+		bc := BalanceChange{Account: w.Account}
+		for _, f := range byAcctCur[w.Account] {
+			bc.Currencies++
+			if f.turnover == 0 {
+				continue
+			}
+			net := f.net
+			if net < 0 {
+				net = -net
+			}
+			if net/f.turnover <= 0.007 {
+				bc.UnchangedCurrencies++
+			}
+		}
+		rep.BalanceChanges = append(rep.BalanceChanges, bc)
+	}
+	return rep
+}
+
+// ConcentrationStats summarizes how concentrated traffic is across accounts.
+type ConcentrationStats struct {
+	Accounts  int
+	Gini      float64
+	TopKShare float64
+	K         int
+}
+
+// Concentration computes Gini and top-k share over per-account activity.
+func Concentration(perAccount []float64, k int) ConcentrationStats {
+	return ConcentrationStats{
+		Accounts:  len(perAccount),
+		Gini:      stats.Gini(perAccount),
+		TopKShare: stats.TopShare(perAccount, k),
+		K:         k,
+	}
+}

@@ -1,0 +1,123 @@
+package eos
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+)
+
+func BenchmarkParseName(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseName("eidosonecoin"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNameString(b *testing.B) {
+	n := MustName("eidosonecoin")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = n.String()
+	}
+}
+
+// benchChain builds a funded two-account chain outside the timer.
+func benchChain(b *testing.B) *Chain {
+	b.Helper()
+	c := New(DefaultConfig(1000))
+	for _, name := range []string{"alice", "bob"} {
+		n := MustName(name)
+		if err := c.CreateAccount(n, SystemAccount); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Tokens().Transfer(TokenAccount, SystemAccount, n, chain.EOSAsset(100_000_000_0000)); err != nil {
+			b.Fatal(err)
+		}
+		c.Resources().Stake(&c.GetAccount(n).Resources, 1_000_000_0000, 100_0000)
+	}
+	return c
+}
+
+// BenchmarkBlockProduction measures end-to-end block production with 100
+// token transfers per block — roughly the EIDOS-era per-block load.
+func BenchmarkBlockProduction(b *testing.B) {
+	c := benchChain(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 100; j++ {
+			from, to := "alice", "bob"
+			if j%2 == 1 {
+				from, to = to, from
+			}
+			c.PushTransaction(NewAction(TokenAccount, ActTransfer, MustName(from), map[string]string{
+				"from": from, "to": to, "quantity": "0.0001 EOS",
+			}))
+		}
+		blk := c.ProduceBlock()
+		if len(blk.Transactions) != 100 {
+			b.Fatalf("block carried %d txs", len(blk.Transactions))
+		}
+	}
+}
+
+// BenchmarkEIDOSMining measures the boomerang path: one user transfer
+// triggering two inline legs through the notification hook.
+func BenchmarkEIDOSMining(b *testing.B) {
+	c := benchChain(b)
+	eidos := NewEIDOSContract()
+	if err := c.SetContract(EIDOSContract, eidos); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Tokens().Create(EIDOSContract, EIDOSToken, 4, 1<<60); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Tokens().Issue(EIDOSContract, EIDOSContract, chain.NewAsset(1_000_000_000, 0, 4, EIDOSToken)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PushTransaction(NewAction(TokenAccount, ActTransfer, MustName("alice"), map[string]string{
+			"from": "alice", "to": EIDOSContract.String(), "quantity": "0.0001 EOS",
+		}))
+		blk := c.ProduceBlock()
+		if len(blk.Transactions) != 1 || len(blk.Transactions[0].Actions) != 3 {
+			b.Fatalf("boomerang shape wrong: %+v", blk.Transactions)
+		}
+	}
+}
+
+// BenchmarkTokenTransfer measures raw token-state mutation.
+func BenchmarkTokenTransfer(b *testing.B) {
+	ts := NewTokenState()
+	if err := ts.Create(TokenAccount, "EOS", 4, 1<<60); err != nil {
+		b.Fatal(err)
+	}
+	if err := ts.Issue(TokenAccount, MustName("alice"), chain.EOSAsset(1<<40)); err != nil {
+		b.Fatal(err)
+	}
+	alice, bob := MustName("alice"), MustName("bob")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from, to := alice, bob
+		if i%2 == 1 {
+			from, to = to, from
+		}
+		if err := ts.Transfer(TokenAccount, from, to, chain.EOSAsset(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRAMMarket measures the Bancor connector updates.
+func BenchmarkRAMMarket(b *testing.B) {
+	m := NewRAMMarket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.BuyBytes(1024)
+	}
+}

@@ -1,0 +1,63 @@
+package eos
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+)
+
+// EIDOSToken is the symbol airdropped by the eidosonecoin contract.
+const EIDOSToken = "EIDOS"
+
+// EIDOSPayoutBP is the payout rate in basis points of the contract's current
+// EIDOS holdings per mining transfer: the paper documents 0.01 %.
+const EIDOSPayoutBP = 1 // 1/10000
+
+// EIDOSContractImpl reproduces the airdrop mechanics from §4.1: any EOS
+// transfer to the contract is bounced straight back ("boomerang") together
+// with 0.01 % of the EIDOS the contract still holds. Because EOS has no
+// transaction fees, this turned idle CPU into free tokens and multiplied
+// chain throughput by more than 10×.
+type EIDOSContractImpl struct {
+	TokenContract // the contract is itself a standard token (EIDOS)
+	// Mines counts mining transfers for test assertions.
+	Mines int64
+}
+
+// NewEIDOSContract returns the contract bound to the eidosonecoin account.
+func NewEIDOSContract() *EIDOSContractImpl {
+	return &EIDOSContractImpl{TokenContract: TokenContract{Account: EIDOSContract}}
+}
+
+// OnTransfer implements the boomerang: refund the EOS, pay out EIDOS.
+func (e *EIDOSContractImpl) OnTransfer(ctx *Context, tokenContract Name, from, to Name, qty chain.Asset, memo string) error {
+	// Only react to EOS arriving at the contract through eosio.token;
+	// ignore the contract's own outbound legs and EIDOS transfers.
+	if tokenContract != TokenAccount || to != EIDOSContract || from == EIDOSContract {
+		return nil
+	}
+	e.Mines++
+	// Leg 1: bounce the exact EOS amount back to the miner.
+	refund := NewAction(TokenAccount, ActTransfer, EIDOSContract, map[string]string{
+		"from":     EIDOSContract.String(),
+		"to":       from.String(),
+		"quantity": qty.String(),
+		"memo":     "refund",
+	})
+	if err := ctx.Emit(refund); err != nil {
+		return err
+	}
+	// Leg 2: pay 0.01% of the contract's current EIDOS balance.
+	held := ctx.Chain.Tokens().Balance(EIDOSContract, EIDOSContract, EIDOSToken)
+	payout := held.MulRat(EIDOSPayoutBP, 10_000)
+	if payout.Amount <= 0 {
+		return fmt.Errorf("eos: eidos reserves exhausted")
+	}
+	drop := NewAction(EIDOSContract, ActTransfer, EIDOSContract, map[string]string{
+		"from":     EIDOSContract.String(),
+		"to":       from.String(),
+		"quantity": payout.String(),
+		"memo":     "mined EIDOS",
+	})
+	return ctx.Emit(drop)
+}

@@ -1,0 +1,74 @@
+package eos
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNameRoundTrip(t *testing.T) {
+	cases := []string{
+		"eosio", "eosio.token", "eidosonecoin", "pornhashbaby",
+		"betdicetasks", "a", "zzzzzzzzzzzz", "111", "a.b.c",
+	}
+	for _, s := range cases {
+		n, err := ParseName(s)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", s, err)
+		}
+		if got := n.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+		if !n.Valid() {
+			t.Errorf("%q reported invalid", s)
+		}
+	}
+}
+
+func TestParseNameRejects(t *testing.T) {
+	for _, s := range []string{"UPPER", "has space", "0zero", "6six", "waytoolongname"} {
+		if _, err := ParseName(s); err == nil {
+			t.Errorf("ParseName(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestNameOrderingMatchesEosio(t *testing.T) {
+	// eosio sorts names by their packed uint64; later alphabet characters
+	// pack higher. A few spot checks against known eosio behaviour.
+	a := MustName("a")
+	z := MustName("z")
+	if a >= z {
+		t.Fatal("'a' should pack below 'z'")
+	}
+	if MustName("eosio") == MustName("eosio.token") {
+		t.Fatal("distinct names collided")
+	}
+}
+
+func TestEmptyName(t *testing.T) {
+	n, err := ParseName("")
+	if err != nil || n != 0 {
+		t.Fatalf("empty name: %v %v", n, err)
+	}
+	if n.String() != "" {
+		t.Fatalf("zero name renders %q", n.String())
+	}
+}
+
+func TestNameRoundTripProperty(t *testing.T) {
+	alphabet := "12345abcdefghijklmnopqrstuvwxyz" // no dots: dots only valid interior
+	f := func(seed uint64, length uint8) bool {
+		l := int(length)%12 + 1
+		buf := make([]byte, l)
+		for i := range buf {
+			buf[i] = alphabet[seed%uint64(len(alphabet))]
+			seed = seed*6364136223846793005 + 1442695040888963407
+		}
+		s := string(buf)
+		n, err := ParseName(s)
+		return err == nil && n.String() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

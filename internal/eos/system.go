@@ -1,0 +1,126 @@
+package eos
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/chain"
+)
+
+// SystemContract implements the eosio system account's actions: account
+// creation, name bidding, bandwidth delegation, RAM purchases, REX rentals
+// and producer voting. These appear in Figure 1 under "Account actions" and
+// "Other actions" and each one is tiny next to token transfers.
+type SystemContract struct{}
+
+// Apply dispatches the system actions.
+func (s *SystemContract) Apply(ctx *Context, act Action) error {
+	c := ctx.Chain
+	switch act.ActionName {
+	case ActNewAccount:
+		name, err := ParseName(act.Data["name"])
+		if err != nil {
+			return fmt.Errorf("eos: newaccount: %w", err)
+		}
+		return c.CreateAccount(name, act.Actor())
+	case ActBidName:
+		if _, err := ParseName(act.Data["newname"]); err != nil {
+			return fmt.Errorf("eos: bidname: %w", err)
+		}
+		bid, err := chain.ParseAsset(act.Data["bid"])
+		if err != nil {
+			return fmt.Errorf("eos: bidname bid: %w", err)
+		}
+		// Bids escrow EOS with eosio.names.
+		return c.Tokens().Transfer(TokenAccount, act.Actor(), NamesAccount, bid)
+	case ActDelegateBW:
+		return s.delegate(c, act, true)
+	case ActUndelegateBW:
+		return s.delegate(c, act, false)
+	case ActBuyRAM:
+		qty, err := chain.ParseAsset(act.Data["quant"])
+		if err != nil {
+			return fmt.Errorf("eos: buyram: %w", err)
+		}
+		if err := c.Tokens().Transfer(TokenAccount, act.Actor(), RAMAccount, qty); err != nil {
+			return err
+		}
+		bytes := c.RAM().BuyForEOS(qty.Amount)
+		receiver := c.account(act, "receiver")
+		if receiver == nil {
+			return fmt.Errorf("eos: buyram: unknown receiver")
+		}
+		receiver.Resources.RAMBytes += bytes
+		return nil
+	case ActBuyRAMBytes:
+		bytes, err := strconv.ParseInt(act.Data["bytes"], 10, 64)
+		if err != nil || bytes <= 0 {
+			return fmt.Errorf("eos: buyrambytes: bad byte count %q", act.Data["bytes"])
+		}
+		cost := c.RAM().BuyBytes(bytes)
+		if err := c.Tokens().Transfer(TokenAccount, act.Actor(), RAMAccount, chain.EOSAsset(cost)); err != nil {
+			return err
+		}
+		receiver := c.account(act, "receiver")
+		if receiver == nil {
+			return fmt.Errorf("eos: buyrambytes: unknown receiver")
+		}
+		receiver.Resources.RAMBytes += bytes
+		return nil
+	case ActRentCPU:
+		payment, err := chain.ParseAsset(act.Data["payment"])
+		if err != nil {
+			return fmt.Errorf("eos: rentcpu: %w", err)
+		}
+		if err := c.Tokens().Transfer(TokenAccount, act.Actor(), RexAccount, payment); err != nil {
+			return err
+		}
+		receiver := c.account(act, "receiver")
+		if receiver == nil {
+			return fmt.Errorf("eos: rentcpu: unknown receiver")
+		}
+		// Rented CPU weight scales inversely with the price index, so
+		// rentals during congestion buy far less capacity.
+		weight := float64(payment.Amount) * 30 / c.Resources().RentPriceIndex()
+		c.Resources().Rent(&receiver.Resources, int64(weight))
+		return nil
+	case ActVoteProducer, ActUpdateAuth, ActLinkAuth:
+		// Governance and permission bookkeeping: state effects are not
+		// needed by any measurement, only the action record is.
+		return nil
+	case ActDeposit:
+		qty, err := chain.ParseAsset(act.Data["quantity"])
+		if err != nil {
+			return fmt.Errorf("eos: deposit: %w", err)
+		}
+		return c.Tokens().Transfer(TokenAccount, act.Actor(), RexAccount, qty)
+	default:
+		return fmt.Errorf("eos: system contract has no action %s", act.ActionName)
+	}
+}
+
+func (s *SystemContract) delegate(c *Chain, act Action, add bool) error {
+	receiver := c.account(act, "receiver")
+	if receiver == nil {
+		return fmt.Errorf("eos: %s: unknown receiver %q", act.ActionName, act.Data["receiver"])
+	}
+	cpu, err := chain.ParseAsset(act.Data["stake_cpu_quantity"])
+	if err != nil {
+		return fmt.Errorf("eos: %s cpu quantity: %w", act.ActionName, err)
+	}
+	net, err := chain.ParseAsset(act.Data["stake_net_quantity"])
+	if err != nil {
+		return fmt.Errorf("eos: %s net quantity: %w", act.ActionName, err)
+	}
+	if add {
+		if err := c.Tokens().Transfer(TokenAccount, act.Actor(), StakeAccount, cpu.Add(net)); err != nil {
+			return err
+		}
+		c.Resources().Stake(&receiver.Resources, cpu.Amount, net.Amount)
+		return nil
+	}
+	c.Resources().Unstake(&receiver.Resources, cpu.Amount, net.Amount)
+	// Real EOS returns stake after a 3-day delay; the refund leg is not
+	// needed by any measurement, so stake returns immediately.
+	return c.Tokens().Transfer(TokenAccount, StakeAccount, act.Actor(), cpu.Add(net))
+}

@@ -1,0 +1,337 @@
+// Package pipeline wires the full reproduction together: it builds the
+// calibrated workloads, runs the three chain simulators over the
+// observation window, serves their histories through the same network APIs
+// the paper crawled (EOS HTTP RPC behind rate-limited endpoints, Tezos REST,
+// XRP WebSocket plus the explorer's Data API), collects everything with the
+// reverse-chronological crawler, and feeds the crawled wire data into the
+// measurement aggregators.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/explorer"
+	"repro/internal/rpcserve"
+	"repro/internal/workload"
+	"repro/internal/xrp"
+)
+
+// Options selects the scale divisors and crawl parallelism.
+type Options struct {
+	// EOSScale, TezosScale, XRPScale and GovScale are the per-chain scale
+	// divisors (the paper's shares and rankings are scale-invariant; see
+	// DESIGN.md). Zero selects fast defaults suitable for tests.
+	EOSScale, TezosScale, XRPScale, GovScale int64
+	Seed                                     int64
+	// Workers is the crawl concurrency per chain.
+	Workers int
+	// Bucket is the throughput time-series bucket (paper: 6 hours).
+	Bucket time.Duration
+	// EOSEndpoints is how many EOS endpoints to expose for probing; the
+	// crawler shortlists the best EOSShortlist of them, as the paper
+	// shortlisted 6 of 32.
+	EOSEndpoints int
+	EOSShortlist int
+	// SkipGovernance disables the Babylon replay when only the main
+	// window is needed.
+	SkipGovernance bool
+}
+
+// DefaultOptions returns bench-friendly scales.
+func DefaultOptions() Options {
+	return Options{
+		EOSScale:     50_000,
+		TezosScale:   800,
+		XRPScale:     20_000,
+		GovScale:     400,
+		Seed:         1,
+		Workers:      4,
+		Bucket:       6 * time.Hour,
+		EOSEndpoints: 8,
+		EOSShortlist: 3,
+	}
+}
+
+// Result carries every aggregate the report renderers need.
+type Result struct {
+	Opts Options
+
+	EOS   *core.EOSAggregator
+	Tezos *core.TezosAggregator
+	Gov   *core.TezosAggregator
+	XRP   *core.XRPAggregator
+
+	Dir *explorer.Directory
+
+	EOSCrawl, TezosCrawl, XRPCrawl collect.CrawlResult
+
+	// EndpointScores are the probe results behind the EOS shortlist.
+	EndpointScores []collect.EndpointScore
+	Shortlisted    []collect.EndpointScore
+
+	// XRPScenario exposes actor addresses for case-study lookups.
+	XRPScenario *workload.XRPScenario
+	// EOSScenario exposes the EOS chain for case-study lookups.
+	EOSScenario *workload.EOSScenario
+}
+
+// ClusterFunc returns the Figure 12 clustering function backed by the
+// explorer directory.
+func (r *Result) ClusterFunc() core.ClusterFunc {
+	return func(addr string) string { return r.Dir.ClusterName(xrp.Address(addr)) }
+}
+
+// Run executes the whole reproduction.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	def := DefaultOptions()
+	if opts.EOSScale <= 0 {
+		opts.EOSScale = def.EOSScale
+	}
+	if opts.TezosScale <= 0 {
+		opts.TezosScale = def.TezosScale
+	}
+	if opts.XRPScale <= 0 {
+		opts.XRPScale = def.XRPScale
+	}
+	if opts.GovScale <= 0 {
+		opts.GovScale = def.GovScale
+	}
+	if opts.Seed == 0 {
+		opts.Seed = def.Seed
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = def.Workers
+	}
+	if opts.Bucket <= 0 {
+		opts.Bucket = def.Bucket
+	}
+	if opts.EOSEndpoints <= 0 {
+		opts.EOSEndpoints = def.EOSEndpoints
+	}
+	if opts.EOSShortlist <= 0 {
+		opts.EOSShortlist = def.EOSShortlist
+	}
+
+	res := &Result{Opts: opts}
+	if err := res.runEOS(ctx, opts); err != nil {
+		return nil, fmt.Errorf("pipeline: EOS stage: %w", err)
+	}
+	if err := res.runTezos(ctx, opts); err != nil {
+		return nil, fmt.Errorf("pipeline: Tezos stage: %w", err)
+	}
+	if err := res.runXRP(ctx, opts); err != nil {
+		return nil, fmt.Errorf("pipeline: XRP stage: %w", err)
+	}
+	if !opts.SkipGovernance {
+		if err := res.runGovernance(ctx, opts); err != nil {
+			return nil, fmt.Errorf("pipeline: governance stage: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// serve starts an HTTP server on a loopback port and returns its base URL
+// and a shutdown function.
+func serve(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+func (r *Result) runEOS(ctx context.Context, opts Options) error {
+	scenario, err := workload.BuildEOS(workload.EOSOptions{Scale: opts.EOSScale, Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	scenario.Run()
+	r.EOSScenario = scenario
+
+	// Expose several endpoints with varying generosity, probe them, and
+	// crawl through the shortlist — the paper's §3.1 methodology.
+	handler := rpcserve.NewEOSServer(scenario.Chain)
+	profiles := make([]rpcserve.EndpointProfile, opts.EOSEndpoints)
+	for i := range profiles {
+		switch i % 4 {
+		case 0: // generous
+			profiles[i] = rpcserve.EndpointProfile{}
+		case 1:
+			profiles[i] = rpcserve.EndpointProfile{RatePerSec: 5000, Burst: 500}
+		case 2: // stingy rate limit
+			profiles[i] = rpcserve.EndpointProfile{RatePerSec: 20, Burst: 5}
+		default: // slow
+			profiles[i] = rpcserve.EndpointProfile{Latency: 5 * time.Millisecond}
+		}
+	}
+	urls := make([]string, 0, len(profiles))
+	for _, p := range profiles {
+		url, stop, err := serve(p.Middleware(handler))
+		if err != nil {
+			return err
+		}
+		defer stop()
+		urls = append(urls, url)
+	}
+	for _, u := range urls {
+		r.EndpointScores = append(r.EndpointScores, collect.ProbeEndpoint(ctx, u, collect.NewEOSClient(u), 6))
+	}
+	r.Shortlisted = collect.Shortlist(r.EndpointScores, opts.EOSShortlist)
+	fetchers := make([]collect.BlockFetcher, 0, len(r.Shortlisted))
+	for _, s := range r.Shortlisted {
+		fetchers = append(fetchers, collect.NewEOSClient(s.URL))
+	}
+	if len(fetchers) == 0 {
+		return fmt.Errorf("no EOS endpoints survived probing")
+	}
+	multi := &collect.MultiFetcher{Fetchers: fetchers}
+
+	agg := core.NewEOSAggregator(chain.ObservationStart, opts.Bucket)
+	crawl, err := collect.Crawl(ctx, multi, collect.CrawlConfig{
+		Workers: opts.Workers, MaxRetries: 8, Backoff: 5 * time.Millisecond,
+	}, func(num int64, raw []byte) error {
+		blk, err := collect.DecodeEOSBlock(raw)
+		if err != nil {
+			return err
+		}
+		return agg.IngestBlock(blk)
+	})
+	if err != nil {
+		return err
+	}
+	r.EOS = agg
+	r.EOSCrawl = crawl
+	return nil
+}
+
+func (r *Result) runTezos(ctx context.Context, opts Options) error {
+	scenario, err := workload.BuildTezos(workload.TezosOptions{Scale: opts.TezosScale, Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	if _, err := scenario.Run(); err != nil {
+		return err
+	}
+	url, stop, err := serve(rpcserve.NewTezosServer(scenario.Chain))
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	agg := core.NewTezosAggregator(chain.ObservationStart, opts.Bucket)
+	crawl, err := collect.Crawl(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
+		Workers: opts.Workers,
+	}, func(num int64, raw []byte) error {
+		blk, err := collect.DecodeTezosBlock(raw)
+		if err != nil {
+			return err
+		}
+		return agg.IngestBlock(blk)
+	})
+	if err != nil {
+		return err
+	}
+	r.Tezos = agg
+	r.TezosCrawl = crawl
+	return nil
+}
+
+func (r *Result) runGovernance(ctx context.Context, opts Options) error {
+	g, err := workload.BuildTezosGovernance(workload.GovernanceOptions{Scale: opts.GovScale, Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	if _, err := g.Run(); err != nil {
+		return err
+	}
+	url, stop, err := serve(rpcserve.NewTezosServer(g.Chain))
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	// The governance replay starts in July; anchor its series there.
+	agg := core.NewTezosAggregator(time.Date(2019, time.July, 17, 0, 0, 0, 0, time.UTC), 24*time.Hour)
+	if _, err := collect.Crawl(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
+		Workers: opts.Workers,
+	}, func(num int64, raw []byte) error {
+		blk, err := collect.DecodeTezosBlock(raw)
+		if err != nil {
+			return err
+		}
+		return agg.IngestBlock(blk)
+	}); err != nil {
+		return err
+	}
+	r.Gov = agg
+	return nil
+}
+
+func (r *Result) runXRP(ctx context.Context, opts Options) error {
+	scenario, err := workload.BuildXRP(workload.XRPOptions{Scale: opts.XRPScale, Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	scenario.Run()
+	r.XRPScenario = scenario
+
+	// The ledger API over WebSocket.
+	wsURL, stopWS, err := serve(rpcserve.NewXRPServer(scenario.State))
+	if err != nil {
+		return err
+	}
+	defer stopWS()
+	wsURL = "ws" + strings.TrimPrefix(wsURL, "http")
+
+	// The explorer (XRP Scan + Data API): usernames and trade records.
+	dir := explorer.NewDirectory(scenario.State)
+	for addr, username := range scenario.Usernames {
+		dir.Register(addr, username)
+	}
+	oracle := explorer.NewRateOracle(scenario.State)
+	exURL, stopEx, err := serve(explorer.NewServer(dir, oracle))
+	if err != nil {
+		return err
+	}
+	defer stopEx()
+	r.Dir = dir
+
+	agg := core.NewXRPAggregator(chain.ObservationStart, opts.Bucket)
+	client := collect.NewXRPClient(wsURL)
+	defer client.Close()
+	crawl, err := collect.Crawl(ctx, client, collect.CrawlConfig{
+		// The build phase's ledgers stand in for pre-window history
+		// (gateway issuance, trust lines); the paper's window starts at
+		// October 1, so the crawl does too.
+		From:    scenario.SetupLedgers + 1,
+		Workers: 1, // the WebSocket protocol is sequential per connection
+	}, func(num int64, raw []byte) error {
+		led, err := collect.DecodeXRPLedger(raw)
+		if err != nil {
+			return err
+		}
+		return agg.IngestLedger(led)
+	})
+	if err != nil {
+		return err
+	}
+	// Pull trade records from the Data API, as the paper did for rates.
+	exchanges, err := explorer.FetchExchanges(exURL)
+	if err != nil {
+		return err
+	}
+	agg.AddExchanges(exchanges)
+	r.XRP = agg
+	r.XRPCrawl = crawl
+	return nil
+}

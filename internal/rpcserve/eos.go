@@ -1,0 +1,211 @@
+package rpcserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/eos"
+)
+
+// EOSServer serves an EOS chain over the nodeos-style RPC the paper's
+// collector used: POST /v1/chain/get_info and POST /v1/chain/get_block.
+type EOSServer struct {
+	Chain *eos.Chain
+	mux   *http.ServeMux
+}
+
+// NewEOSServer builds the handler for a chain. get_account and
+// get_currency_balance mirror the nodeos endpoints the paper's RPC guide
+// references for account-level lookups.
+func NewEOSServer(c *eos.Chain) *EOSServer {
+	s := &EOSServer{Chain: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/chain/get_info", s.getInfo)
+	s.mux.HandleFunc("POST /v1/chain/get_block", s.getBlock)
+	s.mux.HandleFunc("POST /v1/chain/get_account", s.getAccount)
+	s.mux.HandleFunc("POST /v1/chain/get_currency_balance", s.getCurrencyBalance)
+	return s
+}
+
+type eosGetAccountRequest struct {
+	AccountName string `json:"account_name"`
+}
+
+func (s *EOSServer) getAccount(w http.ResponseWriter, r *http.Request) {
+	var req eosGetAccountRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body")
+		return
+	}
+	name, err := eos.ParseName(req.AccountName)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	acct := s.Chain.GetAccount(name)
+	if acct == nil {
+		httpError(w, http.StatusNotFound, "unknown account")
+		return
+	}
+	writeJSON(w, map[string]any{
+		"account_name": acct.Name.String(),
+		"created":      acct.Created.UTC().Format(time.RFC3339),
+		"privileged":   acct.Privileged,
+		"creator":      acct.Creator.String(),
+		"cpu_weight":   acct.Resources.CPUStaked,
+		"net_weight":   acct.Resources.NETStaked,
+		"ram_quota":    acct.Resources.RAMBytes,
+		"ram_usage":    acct.Resources.RAMUsed,
+	})
+}
+
+type eosGetBalanceRequest struct {
+	Code    string `json:"code"`
+	Account string `json:"account"`
+	Symbol  string `json:"symbol"`
+}
+
+func (s *EOSServer) getCurrencyBalance(w http.ResponseWriter, r *http.Request) {
+	var req eosGetBalanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body")
+		return
+	}
+	code, err := eos.ParseName(req.Code)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad code")
+		return
+	}
+	holder, err := eos.ParseName(req.Account)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad account")
+		return
+	}
+	bal := s.Chain.Tokens().Balance(code, holder, req.Symbol)
+	writeJSON(w, []string{bal.String()})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *EOSServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// eosInfoResponse mirrors the subset of get_info the collector needs.
+type eosInfoResponse struct {
+	ChainID          string `json:"chain_id"`
+	HeadBlockNum     uint32 `json:"head_block_num"`
+	HeadBlockTime    string `json:"head_block_time"`
+	ServerVersion    string `json:"server_version_string"`
+	BlockCPULimit    int64  `json:"block_cpu_limit"`
+	CongestionStatus bool   `json:"network_congested"` // simulator extension
+}
+
+func (s *EOSServer) getInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, eosInfoResponse{
+		ChainID:          "repro-eos-simnet",
+		HeadBlockNum:     s.Chain.HeadNum(),
+		HeadBlockTime:    s.Chain.Now().UTC().Format(time.RFC3339),
+		ServerVersion:    "repro-nodeos-2.0",
+		BlockCPULimit:    200_000,
+		CongestionStatus: s.Chain.Resources().Congested(),
+	})
+}
+
+type eosGetBlockRequest struct {
+	BlockNumOrID json.Number `json:"block_num_or_id"`
+}
+
+// EOSBlockJSON is the wire shape of one block, structurally close to nodeos
+// (transactions wrap a trx object carrying actions).
+type EOSBlockJSON struct {
+	BlockNum     uint32       `json:"block_num"`
+	ID           string       `json:"id"`
+	Previous     string       `json:"previous"`
+	Timestamp    string       `json:"timestamp"`
+	Producer     string       `json:"producer"`
+	Transactions []EOSTrxJSON `json:"transactions"`
+}
+
+// EOSTrxJSON is one transaction receipt.
+type EOSTrxJSON struct {
+	Status string `json:"status"`
+	Trx    struct {
+		ID          string `json:"id"`
+		Transaction struct {
+			Actions []EOSActionJSON `json:"actions"`
+		} `json:"transaction"`
+	} `json:"trx"`
+}
+
+// EOSActionJSON is one action.
+type EOSActionJSON struct {
+	Account       string              `json:"account"`
+	Name          string              `json:"name"`
+	Authorization []map[string]string `json:"authorization"`
+	Data          map[string]string   `json:"data"`
+	Inline        bool                `json:"inline,omitempty"`
+}
+
+// BlockToJSON converts a simulator block to its wire shape.
+func BlockToJSON(b *eos.Block) EOSBlockJSON {
+	out := EOSBlockJSON{
+		BlockNum:  b.Num,
+		ID:        b.ID.String(),
+		Previous:  b.Previous.String(),
+		Timestamp: b.Timestamp.UTC().Format("2006-01-02T15:04:05.000"),
+		Producer:  b.Producer.String(),
+	}
+	for _, tx := range b.Transactions {
+		var tj EOSTrxJSON
+		tj.Status = "executed"
+		tj.Trx.ID = tx.ID.String()
+		for _, act := range tx.Actions {
+			aj := EOSActionJSON{
+				Account: act.Account.String(),
+				Name:    act.ActionName.String(),
+				Data:    act.Data,
+				Inline:  act.Inline,
+			}
+			for _, auth := range act.Authorization {
+				aj.Authorization = append(aj.Authorization, map[string]string{
+					"actor": auth.Actor.String(), "permission": auth.Permission,
+				})
+			}
+			tj.Trx.Transaction.Actions = append(tj.Trx.Transaction.Actions, aj)
+		}
+		out.Transactions = append(out.Transactions, tj)
+	}
+	return out
+}
+
+func (s *EOSServer) getBlock(w http.ResponseWriter, r *http.Request) {
+	var req eosGetBlockRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	num, err := req.BlockNumOrID.Int64()
+	if err != nil || num < 1 {
+		httpError(w, http.StatusBadRequest, "block_num_or_id must be a positive block number")
+		return
+	}
+	blk := s.Chain.GetBlock(uint32(num))
+	if blk == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("block %d not found", num))
+		return
+	}
+	writeJSON(w, BlockToJSON(blk))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; headers are already gone.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{"code": code, "error": msg})
+}

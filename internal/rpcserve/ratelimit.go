@@ -1,0 +1,82 @@
+// Package rpcserve exposes the three chain simulators over the same network
+// interfaces the paper crawled: an EOS-style HTTP JSON RPC (get_block), a
+// Tezos-style REST RPC, and an XRP-style WebSocket API, each with
+// configurable token-bucket rate limits and artificial latency so the
+// collector's endpoint short-listing logic (6 good endpoints out of 32) has
+// something real to measure.
+package rpcserve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a thread-safe token-bucket rate limiter.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket allows rate requests per second with the given burst.
+// A nil bucket (or rate <= 0) means unlimited.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Allow consumes one token if available.
+func (b *TokenBucket) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// EndpointProfile shapes one served endpoint: its rate limit and synthetic
+// latency. The paper found block-producer endpoints varying wildly in both,
+// keeping only the 6 most generous of 32.
+type EndpointProfile struct {
+	// RatePerSec limits requests per second (0 = unlimited).
+	RatePerSec float64
+	// Burst is the bucket depth.
+	Burst float64
+	// Latency is added to every response.
+	Latency time.Duration
+}
+
+// Middleware wraps h with the profile's rate limit and latency.
+func (p EndpointProfile) Middleware(h http.Handler) http.Handler {
+	bucket := NewTokenBucket(p.RatePerSec, p.Burst)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !bucket.Allow() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		if p.Latency > 0 {
+			time.Sleep(p.Latency)
+		}
+		h.ServeHTTP(w, r)
+	})
+}

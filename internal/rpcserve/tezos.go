@@ -1,0 +1,145 @@
+package rpcserve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/tezos"
+)
+
+// TezosServer serves a Tezos chain over the octez-style REST RPC:
+// GET /chains/main/blocks/head and GET /chains/main/blocks/{level}.
+// The paper ran its own full node for Tezos because no public endpoint list
+// exists; the simulator plays that node.
+type TezosServer struct {
+	Chain *tezos.Chain
+	mux   *http.ServeMux
+}
+
+// NewTezosServer builds the handler for a chain. Beyond block fetching it
+// exposes the octez voting endpoints the paper's §4.2 analysis used:
+// current_period_kind, current_proposal and ballots.
+func NewTezosServer(c *tezos.Chain) *TezosServer {
+	s := &TezosServer{Chain: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /chains/main/blocks/head", s.head)
+	s.mux.HandleFunc("GET /chains/main/blocks/{level}", s.block)
+	s.mux.HandleFunc("GET /chains/main/blocks/head/votes/current_period_kind", s.periodKind)
+	s.mux.HandleFunc("GET /chains/main/blocks/head/votes/current_proposal", s.currentProposal)
+	s.mux.HandleFunc("GET /chains/main/blocks/head/votes/ballots", s.ballots)
+	s.mux.HandleFunc("GET /chains/main/blocks/head/votes/periods", s.periods)
+	return s
+}
+
+func (s *TezosServer) periodKind(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, string(s.Chain.Governance().Period()))
+}
+
+func (s *TezosServer) currentProposal(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Chain.Governance().CurrentProposal())
+}
+
+func (s *TezosServer) ballots(w http.ResponseWriter, r *http.Request) {
+	yay, nay, pass := s.Chain.Governance().Tallies()
+	writeJSON(w, map[string]int64{"yay": yay, "nay": nay, "pass": pass})
+}
+
+// periods returns the completed period records (a simulator convenience the
+// paper assembled from historical snapshots).
+func (s *TezosServer) periods(w http.ResponseWriter, r *http.Request) {
+	recs := s.Chain.Governance().Periods()
+	out := make([]map[string]any, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, map[string]any{
+			"kind":          string(rec.Kind),
+			"start_level":   rec.StartLevel,
+			"end_level":     rec.EndLevel,
+			"proposal":      rec.Proposal,
+			"yay":           rec.Yay,
+			"nay":           rec.Nay,
+			"pass":          rec.Pass,
+			"participation": rec.Participation,
+			"outcome":       rec.Outcome,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *TezosServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// TezosBlockJSON is the wire shape of one block: a header plus operations.
+type TezosBlockJSON struct {
+	Level       int64                `json:"level"`
+	Hash        string               `json:"hash"`
+	Predecessor string               `json:"predecessor"`
+	Timestamp   string               `json:"timestamp"`
+	Baker       string               `json:"baker"`
+	Operations  []TezosOperationJSON `json:"operations"`
+}
+
+// TezosOperationJSON is one operation.
+type TezosOperationJSON struct {
+	Kind        string `json:"kind"`
+	Source      string `json:"source,omitempty"`
+	Destination string `json:"destination,omitempty"`
+	Amount      int64  `json:"amount,omitempty"`
+	Fee         int64  `json:"fee,omitempty"`
+	Level       int64  `json:"level,omitempty"`
+	SlotCount   int    `json:"slot_count,omitempty"`
+	Proposal    string `json:"proposal,omitempty"`
+	Ballot      string `json:"ballot,omitempty"`
+	Rolls       int64  `json:"rolls,omitempty"`
+	Delegate    string `json:"delegate,omitempty"`
+}
+
+// TezosBlockToJSON converts a simulator block to its wire shape.
+func TezosBlockToJSON(b *tezos.Block) TezosBlockJSON {
+	out := TezosBlockJSON{
+		Level:       b.Level,
+		Hash:        b.Hash.String(),
+		Predecessor: b.Predecessor.String(),
+		Timestamp:   b.Timestamp.UTC().Format(time.RFC3339),
+		Baker:       string(b.Baker),
+	}
+	for _, op := range b.Operations {
+		out.Operations = append(out.Operations, TezosOperationJSON{
+			Kind:        string(op.Kind),
+			Source:      string(op.Source),
+			Destination: string(op.Destination),
+			Amount:      op.Amount,
+			Fee:         op.Fee,
+			Level:       op.Level,
+			SlotCount:   len(op.Slots),
+			Proposal:    op.Proposal,
+			Ballot:      string(op.Ballot),
+			Rolls:       op.Rolls,
+			Delegate:    string(op.Delegate),
+		})
+	}
+	return out
+}
+
+func (s *TezosServer) head(w http.ResponseWriter, r *http.Request) {
+	level := s.Chain.HeadLevel()
+	blk := s.Chain.GetBlock(level)
+	if blk == nil {
+		httpError(w, http.StatusNotFound, "chain is empty")
+		return
+	}
+	writeJSON(w, TezosBlockToJSON(blk))
+}
+
+func (s *TezosServer) block(w http.ResponseWriter, r *http.Request) {
+	level, err := strconv.ParseInt(r.PathValue("level"), 10, 64)
+	if err != nil || level < 1 {
+		httpError(w, http.StatusBadRequest, "level must be a positive integer")
+		return
+	}
+	blk := s.Chain.GetBlock(level)
+	if blk == nil {
+		httpError(w, http.StatusNotFound, "block not found")
+		return
+	}
+	writeJSON(w, TezosBlockToJSON(blk))
+}

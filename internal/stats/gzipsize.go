@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"compress/gzip"
+	"sync"
+)
+
+// GzipSizer measures the gzip-compressed size of a byte stream without
+// retaining it. The paper characterizes each dataset by its compressed
+// on-disk footprint (Figure 2: 121 GB EOS, 0.56 GB Tezos, 76.4 GB XRP);
+// the collector feeds every fetched block through a sizer to report the
+// same statistic.
+type GzipSizer struct {
+	mu      sync.Mutex
+	counter countingWriter
+	zw      *gzip.Writer
+	raw     int64
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// NewGzipSizer returns a sizer using the default compression level.
+func NewGzipSizer() *GzipSizer {
+	s := &GzipSizer{}
+	s.zw = gzip.NewWriter(&s.counter)
+	return s
+}
+
+// Write feeds data through the compressor. It never fails.
+func (s *GzipSizer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.raw += int64(len(p))
+	return s.zw.Write(p)
+}
+
+// RawBytes returns the number of uncompressed bytes written so far.
+func (s *GzipSizer) RawBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.raw
+}
+
+// CompressedBytes flushes the compressor and returns the compressed size so
+// far. The sizer remains usable after the call.
+func (s *GzipSizer) CompressedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zw.Flush()
+	return s.counter.n
+}
+
+// Close finalizes the stream and returns the total compressed size.
+func (s *GzipSizer) Close() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.zw.Close(); err != nil {
+		return 0, err
+	}
+	return s.counter.n, nil
+}

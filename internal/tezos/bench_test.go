@@ -1,0 +1,102 @@
+package tezos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchChain registers n bakers and a funded sender outside the timer.
+func benchChain(b *testing.B, bakers int) (*Chain, Address, Address) {
+	b.Helper()
+	c := New(DefaultConfig(1000))
+	for i := 0; i < bakers; i++ {
+		if err := c.RegisterBaker(NewImplicitAddress(fmt.Sprintf("bb-%03d", i)), 50_000*1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	from := NewImplicitAddress("bench-from")
+	to := NewImplicitAddress("bench-to")
+	acct := c.FundAccount(from, 1<<50)
+	acct.Revealed = true
+	c.FundAccount(to, 0)
+	return c, from, to
+}
+
+// BenchmarkBlockWithEndorsements measures block production including the
+// stake-weighted endorsement assignment over a main-net-sized baker set.
+func BenchmarkBlockWithEndorsements(b *testing.B) {
+	c, _, _ := benchChain(b, 150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ProduceBlock(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransactionApplication measures manager-operation application
+// at the dataset's ~5 transactions per block.
+func BenchmarkTransactionApplication(b *testing.B) {
+	c, from, to := benchChain(b, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 5; j++ {
+			c.Inject(Operation{Kind: KindTransaction, Source: from, Destination: to, Amount: 1, Fee: 1420})
+		}
+		blk, err := c.ProduceBlock()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = blk
+	}
+	if c.Rejected != 0 {
+		b.Fatalf("%d operations rejected", c.Rejected)
+	}
+}
+
+// BenchmarkAddressDerivation measures base58check address generation.
+func BenchmarkAddressDerivation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewImplicitAddress("bench-address")
+	}
+}
+
+// BenchmarkGovernanceBallot measures ballot application during a voting
+// period.
+func BenchmarkGovernanceBallot(b *testing.B) {
+	cfg := DefaultConfig(1000)
+	cfg.Governance.BlocksPerPeriod = 1 << 40 // never transition mid-bench
+	c := New(cfg)
+	for i := 0; i < 50; i++ {
+		if err := c.RegisterBaker(NewImplicitAddress(fmt.Sprintf("gb-%03d", i)), 50_000*1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Reach exploration: everyone upvotes, then force the transition by
+	// driving the machine directly.
+	gov := c.Governance()
+	blk := &Block{Level: 1}
+	for _, baker := range c.Bakers() {
+		op := Operation{Kind: KindProposals, Source: baker.Address, Proposal: "P"}
+		if err := gov.ApplyProposals(c, &op, blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gov.period = PeriodExploration
+	gov.current = "P"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Reset ballots so each iteration applies a full voter set.
+		gov.ballots = make(map[Address]BallotVote)
+		for _, baker := range c.Bakers() {
+			op := Operation{Kind: KindBallot, Source: baker.Address, Proposal: "P", Ballot: VoteYay}
+			if err := gov.ApplyBallot(c, &op, blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

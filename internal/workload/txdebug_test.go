@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tezos"
+)
+
+func TestTxDebug(t *testing.T) {
+	s, err := BuildTezos(TezosOptions{Scale: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySource := map[tezos.Address]int64{}
+	var txs int64
+	for lvl := int64(1); lvl <= s.Chain.HeadLevel(); lvl++ {
+		for _, op := range s.Chain.GetBlock(lvl).Operations {
+			if op.Kind == tezos.KindTransaction {
+				txs++
+				bySource[op.Source]++
+			}
+		}
+	}
+	fmt.Println("blocks:", blocks, "txs:", txs, "rejected:", s.Chain.Rejected)
+	fmt.Println("hotwallet:", bySource[s.HotWallet], "airdrop:", bySource[s.Airdropper],
+		"third:", bySource[s.FanThird], "moon:", bySource[s.FanMoon], "kt:", bySource[s.KTDistributor])
+	var fanTotal int64
+	for _, a := range []tezos.Address{s.HotWallet, s.Airdropper, s.FanThird, s.FanMoon, s.KTDistributor} {
+		fanTotal += bySource[a]
+	}
+	fmt.Println("fan total:", fanTotal, "background:", txs-fanTotal)
+}

@@ -1,0 +1,39 @@
+// Package workload drives the three chain simulators with actor populations
+// calibrated to the paper's measurements, so that the analysis pipeline
+// re-derives the published statistics from mechanistically generated
+// traffic: the EIDOS boomerang flood and WhaleEx wash-trading on EOS,
+// endorsement-dominated throughput and the Babylon governance vote on
+// Tezos, and the offer-spam, payment-spam and zero-value IOU economies on
+// the XRP ledger.
+//
+// All scenarios accept a Scale divisor S: block intervals stretch by S and
+// actor rates stay calibrated per block, so a scaled run carries 1/S of
+// main-net traffic with identical shares, rankings and regime changes.
+// Per-block arrival rates are scale-invariant: daily rate / blocks per day.
+package workload
+
+// Emitter converts a fractional per-block rate into integer event counts
+// with deterministic carry, so low-rate actors (0.3 ops per block) still
+// emit exactly the right long-run totals.
+type Emitter struct {
+	Rate float64
+	acc  float64
+}
+
+// Next returns how many events to emit this block.
+func (e *Emitter) Next() int {
+	e.acc += e.Rate
+	n := int(e.acc)
+	e.acc -= float64(n)
+	return n
+}
+
+// PerBlock converts a full-scale daily rate into a per-block rate given the
+// full-scale blocks per day. Both numerator and denominator shrink by the
+// same scale factor, so the result is scale-invariant.
+func PerBlock(dailyRate, fullScaleBlocksPerDay float64) float64 {
+	if fullScaleBlocksPerDay <= 0 {
+		return 0
+	}
+	return dailyRate / fullScaleBlocksPerDay
+}

@@ -1,0 +1,372 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/eos"
+	"repro/internal/tezos"
+	"repro/internal/xrp"
+)
+
+func TestEmitterLongRunAverage(t *testing.T) {
+	e := Emitter{Rate: 0.37}
+	total := 0
+	for i := 0; i < 10_000; i++ {
+		total += e.Next()
+	}
+	if total < 3690 || total > 3710 {
+		t.Fatalf("10k blocks at 0.37/block emitted %d", total)
+	}
+	zero := Emitter{Rate: 0}
+	if zero.Next() != 0 {
+		t.Fatal("zero-rate emitter emitted")
+	}
+}
+
+func TestPerBlockScaleInvariance(t *testing.T) {
+	if PerBlock(172_800, 172_800) != 1.0 {
+		t.Fatal("per-block rate wrong")
+	}
+	if PerBlock(100, 0) != 0 {
+		t.Fatal("zero blocks should yield zero rate")
+	}
+}
+
+// ---- EOS scenario ----
+
+func buildAndRunEOS(t *testing.T, scale int64) *EOSScenario {
+	t.Helper()
+	s, err := BuildEOS(EOSOptions{Scale: scale, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Run(); n == 0 {
+		t.Fatal("no blocks produced")
+	}
+	return s
+}
+
+func TestEOSScenarioShape(t *testing.T) {
+	s := buildAndRunEOS(t, 50_000)
+	c := s.Chain
+
+	var transfers, actions int64
+	var preActions, postActions int64
+	var preBlocks, postBlocks int64
+	var boomerangTxs int64
+	for num := uint32(1); num <= c.HeadNum(); num++ {
+		blk := c.GetBlock(num)
+		post := !blk.Timestamp.Before(chain.EIDOSLaunch)
+		if post {
+			postBlocks++
+		} else {
+			preBlocks++
+		}
+		for _, tx := range blk.Transactions {
+			hasIn, hasOut := false, false
+			for _, act := range tx.Actions {
+				actions++
+				if post {
+					postActions++
+				} else {
+					preActions++
+				}
+				if act.ActionName == eos.ActTransfer {
+					transfers++
+					if act.Data["to"] == eos.EIDOSContract.String() {
+						hasIn = true
+					}
+					if act.Data["from"] == eos.EIDOSContract.String() {
+						hasOut = true
+					}
+				}
+			}
+			if hasIn && hasOut {
+				boomerangTxs++
+			}
+		}
+	}
+	if actions == 0 {
+		t.Fatal("no actions generated")
+	}
+	// Paper: 91.6 % of actions are token transfers.
+	share := float64(transfers) / float64(actions)
+	if share < 0.80 || share > 0.97 {
+		t.Fatalf("transfer share = %.3f, want ~0.92", share)
+	}
+	// Paper: the EIDOS launch multiplied throughput by more than 10×.
+	preRate := float64(preActions) / float64(preBlocks)
+	postRate := float64(postActions) / float64(postBlocks)
+	if postRate < 5*preRate {
+		t.Fatalf("EIDOS spike too small: %.1f -> %.1f actions/block", preRate, postRate)
+	}
+	if boomerangTxs == 0 {
+		t.Fatal("no boomerang transactions")
+	}
+	// Paper §4.1: the network entered congestion mode and casual users got
+	// locked out; the CPU rental price spiked.
+	if !c.Resources().Congested() {
+		t.Fatalf("network not congested (utilization %.2f)", c.Resources().Utilization())
+	}
+	if c.RejectedCPU == 0 {
+		t.Fatal("no transactions rejected for CPU during congestion")
+	}
+	if idx := c.Resources().RentPriceIndex(); idx < 20 {
+		t.Fatalf("rent price index only %.1f", idx)
+	}
+}
+
+func TestEOSScenarioTopContracts(t *testing.T) {
+	s := buildAndRunEOS(t, 50_000)
+	c := s.Chain
+	received := map[eos.Name]int64{}
+	for num := uint32(1); num <= c.HeadNum(); num++ {
+		for _, tx := range c.GetBlock(num).Transactions {
+			for _, act := range tx.Actions {
+				received[act.Account]++
+			}
+		}
+	}
+	// eosio.token must dominate; the porn site and betting must rank high.
+	if received[eos.TokenAccount] < received[eos.PornSite] {
+		t.Fatalf("eosio.token (%d) below pornhashbaby (%d)", received[eos.TokenAccount], received[eos.PornSite])
+	}
+	if received[eos.PornSite] == 0 || received[eos.BetDiceTasks] == 0 ||
+		received[eos.WhaleExTrust] == 0 || received[eos.SanguoGame] == 0 {
+		t.Fatalf("expected app traffic missing: %v", received)
+	}
+	if s.EIDOS.Mines == 0 {
+		t.Fatal("EIDOS contract never mined")
+	}
+}
+
+// ---- Tezos scenario ----
+
+func TestTezosScenarioShape(t *testing.T) {
+	s, err := BuildTezos(TezosOptions{Scale: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks == 0 {
+		t.Fatal("no blocks")
+	}
+	kinds := map[tezos.OperationKind]int64{}
+	var total int64
+	senderCounts := map[tezos.Address]int64{}
+	senderReceivers := map[tezos.Address]map[tezos.Address]bool{}
+	for lvl := int64(1); lvl <= s.Chain.HeadLevel(); lvl++ {
+		for _, op := range s.Chain.GetBlock(lvl).Operations {
+			kinds[op.Kind]++
+			total++
+			if op.Kind == tezos.KindTransaction {
+				senderCounts[op.Source]++
+				m := senderReceivers[op.Source]
+				if m == nil {
+					m = map[tezos.Address]bool{}
+					senderReceivers[op.Source] = m
+				}
+				m[op.Destination] = true
+			}
+		}
+	}
+	// Paper: endorsements are 81.7 % of operations.
+	share := float64(kinds[tezos.KindEndorsement]) / float64(total)
+	if share < 0.70 || share > 0.90 {
+		t.Fatalf("endorsement share = %.3f, want ~0.82", share)
+	}
+	txShare := float64(kinds[tezos.KindTransaction]) / float64(total)
+	if txShare < 0.08 || txShare > 0.28 {
+		t.Fatalf("transaction share = %.3f, want ~0.16", txShare)
+	}
+	// Figure 6's fan-out patterns: the airdropper touches ~unique
+	// receivers per tx, the hot wallet revisits a pool.
+	if senderCounts[s.Airdropper] > 0 {
+		ratio := float64(len(senderReceivers[s.Airdropper])) / float64(senderCounts[s.Airdropper])
+		if ratio < 0.95 {
+			t.Fatalf("airdropper receiver/sent ratio = %.2f, want ~1", ratio)
+		}
+	}
+	if senderCounts[s.HotWallet] > 20 {
+		avg := float64(senderCounts[s.HotWallet]) / float64(len(senderReceivers[s.HotWallet]))
+		if avg < 5 {
+			t.Fatalf("hot wallet avg per receiver = %.1f, want ~28", avg)
+		}
+	}
+}
+
+func TestTezosGovernanceReplay(t *testing.T) {
+	g, err := BuildTezosGovernance(GovernanceOptions{Scale: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gov := g.Chain.Governance()
+	promoted := gov.Promoted()
+	if len(promoted) != 1 || promoted[0] != ProposalBabylon2 {
+		t.Fatalf("promoted = %v", promoted)
+	}
+	// Reconstruct per-period tallies from the records.
+	var exploration, promotion *tezos.PeriodRecord
+	for i := range gov.Periods() {
+		rec := &gov.Periods()[i]
+		switch {
+		case rec.Kind == tezos.PeriodExploration && rec.Outcome == "advanced":
+			exploration = rec
+		case rec.Kind == tezos.PeriodPromotion && rec.Outcome == "promoted":
+			promotion = rec
+		}
+	}
+	if exploration == nil || promotion == nil {
+		t.Fatalf("period records incomplete: %+v", gov.Periods())
+	}
+	// Paper: zero nays during exploration, the only abstention being the
+	// foundation; promotion saw ~15 % nay.
+	if exploration.Nay != 0 {
+		t.Fatalf("exploration nay rolls = %d, want 0", exploration.Nay)
+	}
+	if exploration.Pass == 0 {
+		t.Fatal("foundation pass missing in exploration")
+	}
+	nayShare := float64(promotion.Nay) / float64(promotion.Yay+promotion.Nay)
+	if nayShare < 0.02 || nayShare > 0.35 {
+		t.Fatalf("promotion nay share = %.3f, want ~0.15", nayShare)
+	}
+	// Both Babylon proposals should appear in history.
+	sawBabylon, sawBabylon2 := false, false
+	for _, ev := range gov.History() {
+		if ev.Proposal == ProposalBabylon {
+			sawBabylon = true
+		}
+		if ev.Proposal == ProposalBabylon2 {
+			sawBabylon2 = true
+		}
+	}
+	if !sawBabylon || !sawBabylon2 {
+		t.Fatal("both Babylon proposals should gather votes")
+	}
+}
+
+// ---- XRP scenario ----
+
+func TestXRPScenarioShape(t *testing.T) {
+	s, err := BuildXRP(XRPOptions{Scale: 20_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledgers := s.Run()
+	if ledgers == 0 {
+		t.Fatal("no ledgers")
+	}
+	st := s.State
+	byType := map[xrp.TxType]int64{}
+	var total, failed int64
+	var wavePayments, calmPayments int64
+	var waveLedgers, calmLedgers int64
+	for i := int64(1); i <= st.HeadIndex(); i++ {
+		led := st.GetLedger(i)
+		wave := inWave(led.CloseTime)
+		if wave {
+			waveLedgers++
+		} else {
+			calmLedgers++
+		}
+		for _, tx := range led.Transactions {
+			total++
+			byType[tx.Type]++
+			if !tx.Result.Success() {
+				failed++
+			}
+			if tx.Type == xrp.TxPayment {
+				if wave {
+					wavePayments++
+				} else {
+					calmPayments++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no transactions")
+	}
+	payShare := float64(byType[xrp.TxPayment]) / float64(total)
+	offerShare := float64(byType[xrp.TxOfferCreate]) / float64(total)
+	failShare := float64(failed) / float64(total)
+	if payShare < 0.30 || payShare > 0.62 {
+		t.Fatalf("payment share = %.3f, want ~0.46", payShare)
+	}
+	if offerShare < 0.35 || offerShare > 0.65 {
+		t.Fatalf("offer share = %.3f, want ~0.50", offerShare)
+	}
+	if failShare < 0.04 || failShare > 0.20 {
+		t.Fatalf("failure share = %.3f, want ~0.107", failShare)
+	}
+	// The spam waves must lift payment rates visibly.
+	if waveLedgers > 0 && calmLedgers > 0 {
+		waveRate := float64(wavePayments) / float64(waveLedgers)
+		calmRate := float64(calmPayments) / float64(calmLedgers)
+		if waveRate < 2*calmRate {
+			t.Fatalf("wave payment rate %.1f not elevated over calm %.1f", waveRate, calmRate)
+		}
+	}
+	// DEX activity exists but fulfillment is rare.
+	ex := st.Exchanges()
+	if len(ex) == 0 {
+		t.Fatal("no exchanges recorded")
+	}
+	fulfillment := float64(len(ex)) / float64(byType[xrp.TxOfferCreate])
+	if fulfillment > 0.05 {
+		t.Fatalf("fulfillment %.4f too common, want <<1%%", fulfillment)
+	}
+	// The Myrone manipulation trades exist: a ~30,500 rate on his IOU.
+	myroneKey := xrp.AssetKey{Currency: "BTC", Issuer: s.MyroneIssuer}
+	sawHigh, sawCollapse := false, false
+	for _, e := range ex {
+		if e.Base == myroneKey && e.BaseValue > 0 {
+			rate := float64(e.CounterValue) / float64(e.BaseValue)
+			if rate > 30_000 {
+				sawHigh = true
+			}
+			if rate < 2 {
+				sawCollapse = true
+			}
+		}
+	}
+	if !sawHigh || !sawCollapse {
+		t.Fatalf("Myrone trades missing (high=%v collapse=%v)", sawHigh, sawCollapse)
+	}
+	// Ripple's escrow releases happened.
+	if byType[xrp.TxEscrowFinish] < 3 {
+		t.Fatalf("escrow finishes = %d, want >= 3", byType[xrp.TxEscrowFinish])
+	}
+	// Huobi bots are descendants of the exchange.
+	for _, bot := range s.HuobiBots {
+		if st.GetAccount(bot).Parent != s.HuobiGlobal {
+			t.Fatal("bot parent not Huobi")
+		}
+	}
+}
+
+func TestXRPScenarioDeterminism(t *testing.T) {
+	run := func() int64 {
+		s, err := BuildXRP(XRPOptions{Scale: 50_000, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		var total int64
+		for i := int64(1); i <= s.State.HeadIndex(); i++ {
+			total += int64(len(s.State.GetLedger(i).Transactions))
+		}
+		return total
+	}
+	if run() != run() {
+		t.Fatal("same-seed scenario runs diverged")
+	}
+}

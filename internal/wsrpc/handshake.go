@@ -1,0 +1,156 @@
+package wsrpc
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// wsGUID is the magic string from RFC 6455 §1.3 used in the accept hash.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// acceptKey computes Sec-WebSocket-Accept for a client key.
+func acceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Upgrade hijacks an HTTP request and completes the server side of the
+// WebSocket handshake, returning the established connection.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket upgrade requires GET", http.StatusMethodNotAllowed)
+		return nil, fmt.Errorf("wsrpc: upgrade with method %s", r.Method)
+	}
+	if !headerContainsToken(r.Header, "Connection", "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "not a websocket upgrade", http.StatusBadRequest)
+		return nil, fmt.Errorf("wsrpc: missing upgrade headers")
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "unsupported websocket version", http.StatusUpgradeRequired)
+		return nil, fmt.Errorf("wsrpc: version %q", r.Header.Get("Sec-WebSocket-Version"))
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, fmt.Errorf("wsrpc: missing key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "server does not support hijacking", http.StatusInternalServerError)
+		return nil, fmt.Errorf("wsrpc: ResponseWriter is not a Hijacker")
+	}
+	nc, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("wsrpc: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsrpc: writing handshake response: %w", err)
+	}
+	if err := rw.Flush(); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsrpc: flushing handshake response: %w", err)
+	}
+	return newConn(nc, rw.Reader, false, seedFromConn(nc)), nil
+}
+
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Dial connects to a ws:// URL and completes the client handshake.
+func Dial(rawURL string) (*Conn, error) {
+	return DialTimeout(rawURL, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(rawURL string, timeout time.Duration) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("wsrpc: parsing url: %w", err)
+	}
+	if u.Scheme != "ws" {
+		return nil, fmt.Errorf("wsrpc: unsupported scheme %q (only ws)", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	nc, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wsrpc: dialing %s: %w", host, err)
+	}
+
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsrpc: generating key: %w", err)
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\n"+
+		"Host: %s\r\n"+
+		"Upgrade: websocket\r\n"+
+		"Connection: Upgrade\r\n"+
+		"Sec-WebSocket-Key: %s\r\n"+
+		"Sec-WebSocket-Version: 13\r\n\r\n", path, u.Host, key)
+	if _, err := nc.Write([]byte(req)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsrpc: writing handshake: %w", err)
+	}
+
+	br := bufio.NewReader(nc)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wsrpc: reading handshake response: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		nc.Close()
+		return nil, fmt.Errorf("wsrpc: handshake rejected with status %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != acceptKey(key) {
+		nc.Close()
+		return nil, fmt.Errorf("wsrpc: bad accept key %q", got)
+	}
+	return newConn(nc, br, true, seedFromKey(keyBytes)), nil
+}
+
+func seedFromConn(nc net.Conn) uint64 {
+	s := uint64(time.Now().UnixNano())
+	if addr, ok := nc.RemoteAddr().(*net.TCPAddr); ok {
+		s ^= uint64(addr.Port) << 32
+	}
+	return s
+}
+
+func seedFromKey(k [16]byte) uint64 {
+	return binary.BigEndian.Uint64(k[:8]) ^ binary.BigEndian.Uint64(k[8:])
+}

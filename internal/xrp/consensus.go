@@ -1,0 +1,149 @@
+package xrp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chain"
+)
+
+// Validator is one XRP LCP participant with its Unique Node List: the set of
+// validators it listens to during consensus (paper §2.2).
+type Validator struct {
+	ID  string
+	UNL []string
+}
+
+// ConsensusNetwork models the XRP Ledger Consensus Protocol at the level the
+// paper describes it: consensus converges when the validators' UNLs overlap
+// by at least 90 %; below that threshold forks can arise.
+type ConsensusNetwork struct {
+	validators map[string]*Validator
+	order      []string
+}
+
+// NewConsensusNetwork builds a network from validators.
+func NewConsensusNetwork(vs ...*Validator) *ConsensusNetwork {
+	n := &ConsensusNetwork{validators: make(map[string]*Validator)}
+	for _, v := range vs {
+		n.validators[v.ID] = v
+		n.order = append(n.order, v.ID)
+	}
+	sort.Strings(n.order)
+	return n
+}
+
+// MinPairwiseOverlap returns the minimum pairwise UNL overlap fraction,
+// measured against the larger UNL of each pair.
+func (n *ConsensusNetwork) MinPairwiseOverlap() float64 {
+	minOverlap := 1.0
+	for i, a := range n.order {
+		for _, b := range n.order[i+1:] {
+			o := overlap(n.validators[a].UNL, n.validators[b].UNL)
+			if o < minOverlap {
+				minOverlap = o
+			}
+		}
+	}
+	return minOverlap
+}
+
+func overlap(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	shared := 0
+	for _, y := range b {
+		if set[y] {
+			shared++
+		}
+	}
+	larger := len(a)
+	if len(b) > larger {
+		larger = len(b)
+	}
+	return float64(shared) / float64(larger)
+}
+
+// SafeAgainstForks reports whether the 90 % overlap condition holds.
+func (n *ConsensusNetwork) SafeAgainstForks() bool {
+	return n.MinPairwiseOverlap() >= 0.90
+}
+
+// RoundResult reports one consensus round.
+type RoundResult struct {
+	Converged bool
+	Value     chain.Hash
+	Rounds    int
+}
+
+// RunRound executes avalanche-style rounds: every validator repeatedly
+// adopts the proposal supported by at least 80 % of its UNL until all agree
+// or the iteration cap is hit. proposals maps validator ID to its initial
+// candidate transaction-set hash.
+func (n *ConsensusNetwork) RunRound(proposals map[string]chain.Hash) (RoundResult, error) {
+	if len(proposals) == 0 {
+		return RoundResult{}, fmt.Errorf("xrp: no proposals")
+	}
+	current := make(map[string]chain.Hash, len(n.order))
+	for _, id := range n.order {
+		p, ok := proposals[id]
+		if !ok {
+			return RoundResult{}, fmt.Errorf("xrp: validator %s has no proposal", id)
+		}
+		current[id] = p
+	}
+	const maxRounds = 32
+	for round := 1; round <= maxRounds; round++ {
+		next := make(map[string]chain.Hash, len(current))
+		for _, id := range n.order {
+			v := n.validators[id]
+			counts := make(map[chain.Hash]int)
+			for _, peer := range v.UNL {
+				if h, ok := current[peer]; ok {
+					counts[h]++
+				}
+			}
+			adopted := current[id]
+			// Deterministic iteration: sort candidate hashes.
+			hashes := make([]chain.Hash, 0, len(counts))
+			for h := range counts {
+				hashes = append(hashes, h)
+			}
+			sort.Slice(hashes, func(i, j int) bool {
+				return hashes[i].String() < hashes[j].String()
+			})
+			for _, h := range hashes {
+				if float64(counts[h]) >= 0.80*float64(len(v.UNL)) {
+					adopted = h
+					break
+				}
+			}
+			next[id] = adopted
+		}
+		current = next
+		if h, ok := allAgree(current); ok {
+			return RoundResult{Converged: true, Value: h, Rounds: round}, nil
+		}
+	}
+	return RoundResult{Converged: false, Rounds: maxRounds}, nil
+}
+
+func allAgree(m map[string]chain.Hash) (chain.Hash, bool) {
+	var first chain.Hash
+	started := false
+	for _, h := range m {
+		if !started {
+			first, started = h, true
+			continue
+		}
+		if h != first {
+			return chain.Hash{}, false
+		}
+	}
+	return first, started
+}

@@ -1,0 +1,167 @@
+package xrp
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+)
+
+func TestEscrowLifecycle(t *testing.T) {
+	s, a := fixture(t, "ripple", "market")
+	cfg := DefaultConfig(1000)
+	finish := s.Now().Add(2 * cfg.CloseInterval)
+
+	led := submitAndClose(s, Transaction{
+		Type: TxEscrowCreate, Account: a["ripple"], Destination: a["market"],
+		Amount: XRP(1000), FinishAfter: finish,
+	})
+	tx := led.Transactions[0]
+	if !tx.Result.Success() {
+		t.Fatalf("escrow create: %s", tx.Result)
+	}
+	if got := s.GetAccount(a["ripple"]).Balance; got != 9000*DropsPerXRP-10 {
+		t.Fatalf("funds not locked: %d", got)
+	}
+	// Finishing too early is refused.
+	led = submitAndClose(s, Transaction{
+		Type: TxEscrowFinish, Account: a["market"], Owner: a["ripple"], OfferSequence: tx.Sequence,
+	})
+	if code := led.Transactions[0].Result; code != TecNO_PERMISSION {
+		t.Fatalf("early finish: %s", code)
+	}
+	s.CloseLedger() // time passes
+	led = submitAndClose(s, Transaction{
+		Type: TxEscrowFinish, Account: a["market"], Owner: a["ripple"], OfferSequence: tx.Sequence,
+	})
+	if code := led.Transactions[0].Result; !code.Success() {
+		t.Fatalf("finish: %s", code)
+	}
+	if got := s.GetAccount(a["market"]).Balance; got != 11_000*DropsPerXRP-2*10 {
+		t.Fatalf("market balance = %d", got)
+	}
+	// The entry is gone.
+	if s.EscrowEntry(a["ripple"], tx.Sequence) != nil {
+		t.Fatal("escrow entry persisted")
+	}
+}
+
+func TestEscrowCancelReturnsFunds(t *testing.T) {
+	s, a := fixture(t, "ripple", "market")
+	cfg := DefaultConfig(1000)
+	cancel := s.Now().Add(1 * cfg.CloseInterval)
+	led := submitAndClose(s, Transaction{
+		Type: TxEscrowCreate, Account: a["ripple"], Destination: a["market"],
+		Amount: XRP(500), CancelAfter: cancel,
+	})
+	seq := led.Transactions[0].Sequence
+	s.CloseLedger()
+	led = submitAndClose(s, Transaction{
+		Type: TxEscrowCancel, Account: a["ripple"], Owner: a["ripple"], OfferSequence: seq,
+	})
+	if code := led.Transactions[0].Result; !code.Success() {
+		t.Fatalf("cancel: %s", code)
+	}
+	if got := s.GetAccount(a["ripple"]).Balance; got != 10_000*DropsPerXRP-2*10 {
+		t.Fatalf("funds not returned: %d", got)
+	}
+}
+
+func TestEscrowUnfunded(t *testing.T) {
+	s, a := fixture(t, "poor")
+	led := submitAndClose(s, Transaction{
+		Type: TxEscrowCreate, Account: a["poor"], Destination: NewAddress("x"),
+		Amount: XRP(50_000),
+	})
+	if code := led.Transactions[0].Result; code != TecUNFUNDED_PAYMENT {
+		t.Fatalf("overdrawn escrow: %s", code)
+	}
+}
+
+// --- consensus ---
+
+func validators(n int, unlSize int, offsetPer int) []*Validator {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = string(rune('A' + i))
+	}
+	vs := make([]*Validator, n)
+	for i := range vs {
+		unl := make([]string, 0, unlSize)
+		for j := 0; j < unlSize; j++ {
+			unl = append(unl, ids[(i*offsetPer+j)%n])
+		}
+		vs[i] = &Validator{ID: ids[i], UNL: unl}
+	}
+	return vs
+}
+
+func TestUNLOverlapIdenticalIsSafe(t *testing.T) {
+	// Everyone uses the same UNL: overlap 100%, safe.
+	net := NewConsensusNetwork(validators(10, 10, 0)...)
+	if got := net.MinPairwiseOverlap(); got != 1.0 {
+		t.Fatalf("overlap = %f", got)
+	}
+	if !net.SafeAgainstForks() {
+		t.Fatal("identical UNLs flagged unsafe")
+	}
+}
+
+func TestUNLOverlapDisjointIsUnsafe(t *testing.T) {
+	a := &Validator{ID: "A", UNL: []string{"A", "B"}}
+	b := &Validator{ID: "B", UNL: []string{"C", "D"}}
+	net := NewConsensusNetwork(a, b)
+	if net.SafeAgainstForks() {
+		t.Fatal("disjoint UNLs flagged safe")
+	}
+}
+
+func TestConsensusConvergesWithSharedUNL(t *testing.T) {
+	vs := validators(10, 10, 0)
+	net := NewConsensusNetwork(vs...)
+	proposals := make(map[string]chain.Hash)
+	// 9 of 10 propose set X, one proposes Y: must converge on X.
+	x := chain.HashBytes([]byte("set-x"))
+	y := chain.HashBytes([]byte("set-y"))
+	for i, v := range vs {
+		if i == 0 {
+			proposals[v.ID] = y
+		} else {
+			proposals[v.ID] = x
+		}
+	}
+	res, err := net.RunRound(proposals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Value != x {
+		t.Fatalf("consensus: %+v", res)
+	}
+}
+
+func TestConsensusForksWithLowOverlap(t *testing.T) {
+	// Two cliques that don't listen to each other stay split.
+	a1 := &Validator{ID: "A", UNL: []string{"A", "B"}}
+	a2 := &Validator{ID: "B", UNL: []string{"A", "B"}}
+	b1 := &Validator{ID: "C", UNL: []string{"C", "D"}}
+	b2 := &Validator{ID: "D", UNL: []string{"C", "D"}}
+	net := NewConsensusNetwork(a1, a2, b1, b2)
+	x := chain.HashBytes([]byte("x"))
+	y := chain.HashBytes([]byte("y"))
+	res, err := net.RunRound(map[string]chain.Hash{"A": x, "B": x, "C": y, "D": y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("disjoint cliques converged")
+	}
+}
+
+func TestRunRoundValidation(t *testing.T) {
+	net := NewConsensusNetwork(&Validator{ID: "A", UNL: []string{"A"}})
+	if _, err := net.RunRound(nil); err == nil {
+		t.Fatal("empty proposals accepted")
+	}
+	if _, err := net.RunRound(map[string]chain.Hash{"Z": {}}); err == nil {
+		t.Fatal("missing validator proposal accepted")
+	}
+}
