@@ -11,14 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/explorer"
+	"repro/internal/pipeline"
 	"repro/internal/rpcserve"
 	"repro/internal/workload"
 )
@@ -29,6 +32,7 @@ func main() {
 	xrpScale := flag.Int64("xrp-scale", 20_000, "XRP scale divisor")
 	seed := flag.Int64("seed", 1, "scenario seed")
 	addr := flag.String("addr", "127.0.0.1", "listen address")
+	stageWorkers := flag.Int("stage-workers", 0, "max concurrent history builds (0 = all three at once)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -36,28 +40,51 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Println("chainsim: generating EOS history…")
-	eosScenario, err := workload.BuildEOS(workload.EOSOptions{Scale: *eosScale, Seed: *seed})
+	// The three histories are independent, so build them through the same
+	// stage scheduler the measurement pipeline uses.
+	var (
+		eosScenario   *workload.EOSScenario
+		tezosScenario *workload.TezosScenario
+		xrpScenario   *workload.XRPScenario
+	)
+	fmt.Println("chainsim: generating EOS, Tezos and XRP histories…")
+	metrics, err := pipeline.RunStages(context.Background(), []pipeline.Stage{
+		{Name: "eos", Run: func(context.Context) (pipeline.StageStats, error) {
+			s, err := workload.BuildEOS(workload.EOSOptions{Scale: *eosScale, Seed: *seed})
+			if err != nil {
+				return pipeline.StageStats{}, err
+			}
+			s.Run()
+			eosScenario = s
+			return pipeline.StageStats{Blocks: int64(s.Chain.HeadNum())}, nil
+		}},
+		{Name: "tezos", Run: func(context.Context) (pipeline.StageStats, error) {
+			s, err := workload.BuildTezos(workload.TezosOptions{Scale: *tezosScale, Seed: *seed})
+			if err != nil {
+				return pipeline.StageStats{}, err
+			}
+			if _, err := s.Run(); err != nil {
+				return pipeline.StageStats{}, err
+			}
+			tezosScenario = s
+			return pipeline.StageStats{Blocks: s.Chain.HeadLevel()}, nil
+		}},
+		{Name: "xrp", Run: func(context.Context) (pipeline.StageStats, error) {
+			s, err := workload.BuildXRP(workload.XRPOptions{Scale: *xrpScale, Seed: *seed})
+			if err != nil {
+				return pipeline.StageStats{}, err
+			}
+			s.Run()
+			xrpScenario = s
+			return pipeline.StageStats{Blocks: s.State.HeadIndex()}, nil
+		}},
+	}, *stageWorkers)
 	if err != nil {
 		fail(err)
 	}
-	eosScenario.Run()
-
-	fmt.Println("chainsim: generating Tezos history…")
-	tezosScenario, err := workload.BuildTezos(workload.TezosOptions{Scale: *tezosScale, Seed: *seed})
-	if err != nil {
-		fail(err)
+	for _, m := range metrics {
+		fmt.Printf("chainsim: %s history ready in %s (%d blocks)\n", m.Name, m.Elapsed.Round(time.Millisecond), m.Blocks)
 	}
-	if _, err := tezosScenario.Run(); err != nil {
-		fail(err)
-	}
-
-	fmt.Println("chainsim: generating XRP history…")
-	xrpScenario, err := workload.BuildXRP(workload.XRPOptions{Scale: *xrpScale, Seed: *seed})
-	if err != nil {
-		fail(err)
-	}
-	xrpScenario.Run()
 
 	dir := explorer.NewDirectory(xrpScenario.State)
 	for a, username := range xrpScenario.Usernames {

@@ -23,14 +23,16 @@ import (
 
 func main() {
 	opts := pipeline.DefaultOptions()
-	flag.Int64Var(&opts.EOSScale, "eos-scale", opts.EOSScale, "EOS scale divisor (smaller = more traffic)")
-	flag.Int64Var(&opts.TezosScale, "tezos-scale", opts.TezosScale, "Tezos scale divisor")
-	flag.Int64Var(&opts.XRPScale, "xrp-scale", opts.XRPScale, "XRP scale divisor")
-	flag.Int64Var(&opts.GovScale, "gov-scale", opts.GovScale, "governance replay scale divisor")
-	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "deterministic scenario seed")
-	flag.IntVar(&opts.Workers, "workers", opts.Workers, "crawl workers per chain")
-	figure := flag.String("figure", "all", "figure to print: all, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, tps, cases, endpoints")
+	flag.Int64Var(&opts.EOS.Scale, "eos-scale", opts.EOS.Scale, "EOS scale divisor (smaller = more traffic)")
+	flag.Int64Var(&opts.Tezos.Scale, "tezos-scale", opts.Tezos.Scale, "Tezos scale divisor")
+	flag.Int64Var(&opts.XRP.Scale, "xrp-scale", opts.XRP.Scale, "XRP scale divisor")
+	flag.Int64Var(&opts.Gov.Scale, "gov-scale", opts.Gov.Scale, "governance replay scale divisor")
+	seed := flag.Int64("seed", 1, "deterministic scenario seed (applied to every stage)")
+	flag.IntVar(&opts.Workers, "workers", opts.Workers, "shared crawl worker pool size")
+	flag.IntVar(&opts.StageWorkers, "stage-workers", opts.StageWorkers, "max concurrently running stages (0 = unbounded, 1 = sequential)")
+	figure := flag.String("figure", "all", "figure to print: all, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, tps, cases, endpoints, stages")
 	flag.Parse()
+	opts.EOS.Seed, opts.Tezos.Seed, opts.XRP.Seed, opts.Gov.Seed = *seed, *seed, *seed, *seed
 
 	res, err := pipeline.Run(context.Background(), opts)
 	if err != nil {
@@ -69,6 +71,8 @@ func main() {
 		fmt.Println(pipeline.CaseStudies(res))
 	case "endpoints":
 		fmt.Println(pipeline.EndpointReport(res))
+	case "stages":
+		fmt.Println(pipeline.StageTimings(res))
 	default:
 		fmt.Fprintf(os.Stderr, "report: unknown figure %q\n", *figure)
 		os.Exit(2)

@@ -99,7 +99,13 @@ func TestCrawlConcurrentWorkersComplete(t *testing.T) {
 }
 
 func TestCrawlSurvivesRateLimiting(t *testing.T) {
-	srv := eosTestServer(t, 15, rpcserve.EndpointProfile{RatePerSec: 200, Burst: 3})
+	// Each 429 costs a full Retry-After sleep, so the block count sets
+	// this test's wall-clock; -short keeps just enough to trip the limit.
+	nBlocks := 15
+	if testing.Short() {
+		nBlocks = 5
+	}
+	srv := eosTestServer(t, nBlocks, rpcserve.EndpointProfile{RatePerSec: 200, Burst: 3})
 	defer srv.Close()
 	client := NewEOSClient(srv.URL)
 	res, err := Crawl(context.Background(), client, CrawlConfig{
@@ -108,7 +114,7 @@ func TestCrawlSurvivesRateLimiting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Blocks != 15 {
+	if res.Blocks != int64(nBlocks) {
 		t.Fatalf("blocks = %d (failed %d)", res.Blocks, res.Failed)
 	}
 	if res.Retries == 0 {

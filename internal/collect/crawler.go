@@ -31,6 +31,10 @@ type CrawlConfig struct {
 	MaxRetries int
 	// Backoff is the base retry delay (doubled per attempt).
 	Backoff time.Duration
+	// Pool, when set, bounds this crawl's in-flight fetches together with
+	// every other crawl sharing the pool. Workers still sets the shard
+	// count; the pool gates the actual fetch attempts.
+	Pool *Pool
 }
 
 // CrawlResult summarizes a finished crawl.
@@ -49,8 +53,11 @@ type Sink func(num int64, raw []byte) error
 
 // Crawl walks the range in reverse chronological order with a worker pool,
 // retrying transient failures with exponential backoff and honouring rate
-// limits. Every fetched payload is also fed through a gzip sizer so the
-// dataset's compressed footprint is measured exactly as in Figure 2.
+// limits. The range is sharded by stride: worker k fetches To-k,
+// To-k-Workers, … so the crawl stays approximately newest-first overall
+// (and exactly newest-first with one worker). Every fetched payload is
+// also fed through a gzip sizer so the dataset's compressed footprint is
+// measured exactly as in Figure 2.
 func Crawl(ctx context.Context, f BlockFetcher, cfg CrawlConfig, sink Sink) (CrawlResult, error) {
 	start := time.Now()
 	if cfg.Workers <= 0 {
@@ -77,16 +84,21 @@ func Crawl(ctx context.Context, f BlockFetcher, cfg CrawlConfig, sink Sink) (Cra
 	}
 
 	sizer := stats.NewGzipSizer()
-	nums := make(chan int64, cfg.Workers)
 	var res CrawlResult
 	var wg sync.WaitGroup
 	var firstErr atomic.Value
 
+	// Reverse chronological order, sharded by stride: worker k owns
+	// To-k, To-k-Workers, … down to From.
+	stride := int64(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(offset int64) {
 			defer wg.Done()
-			for num := range nums {
+			for num := cfg.To - offset; num >= cfg.From; num -= stride {
+				if ctx.Err() != nil {
+					return
+				}
 				raw, err := fetchWithRetry(ctx, f, num, cfg, &res.Retries)
 				if err != nil {
 					atomic.AddInt64(&res.Failed, 1)
@@ -100,19 +112,8 @@ func Crawl(ctx context.Context, f BlockFetcher, cfg CrawlConfig, sink Sink) (Cra
 					firstErr.CompareAndSwap(nil, err)
 				}
 			}
-		}()
+		}(int64(w))
 	}
-
-	// Reverse chronological order: newest first.
-feed:
-	for num := cfg.To; num >= cfg.From; num-- {
-		select {
-		case nums <- num:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(nums)
 	wg.Wait()
 
 	res.GzipBytes = sizer.CompressedBytes()
@@ -162,7 +163,7 @@ func fetchWithRetry(ctx context.Context, f BlockFetcher, num int64, cfg CrawlCon
 			}
 			delay *= 2
 		}
-		raw, err := f.FetchBlock(ctx, num)
+		raw, err := fetchOnce(ctx, f, num, cfg.Pool)
 		if err == nil {
 			return raw, nil
 		}
@@ -176,4 +177,17 @@ func fetchWithRetry(ctx context.Context, f BlockFetcher, num int64, cfg CrawlCon
 		}
 	}
 	return nil, fmt.Errorf("collect: block %d failed after %d retries: %w", num, cfg.MaxRetries, lastErr)
+}
+
+// fetchOnce performs a single fetch attempt, holding a shared pool slot
+// (when configured) only for the duration of the request so backoff sleeps
+// between attempts never block other crawls.
+func fetchOnce(ctx context.Context, f BlockFetcher, num int64, pool *Pool) ([]byte, error) {
+	if pool != nil {
+		if err := pool.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer pool.release()
+	}
+	return f.FetchBlock(ctx, num)
 }

@@ -2,7 +2,9 @@ package collect
 
 import (
 	"context"
+	"errors"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -107,8 +109,30 @@ func (m *MultiFetcher) Head(ctx context.Context) (int64, error) {
 	return 0, lastErr
 }
 
-// FetchBlock rotates across endpoints per call.
+// FetchBlock rotates across endpoints per call and fails over to the next
+// endpoint on error: a block that lands on a momentarily rate-limited
+// endpoint is answered by a healthy one immediately instead of sleeping
+// out the throttle's Retry-After. Only when every endpoint refuses does
+// the error reach the crawler's backoff loop.
 func (m *MultiFetcher) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
-	i := int(num) % len(m.Fetchers)
-	return m.Fetchers[i].FetchBlock(ctx, num)
+	if len(m.Fetchers) == 0 {
+		return nil, errors.New("collect: MultiFetcher has no endpoints")
+	}
+	turn := atomic.AddInt64(&m.next, 1)
+	var lastErr error
+	for k := 0; k < len(m.Fetchers); k++ {
+		i := int((num + turn + int64(k)) % int64(len(m.Fetchers)))
+		if i < 0 {
+			i += len(m.Fetchers)
+		}
+		raw, err := m.Fetchers[i].FetchBlock(ctx, num)
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
 }

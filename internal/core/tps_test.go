@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestObservedTPS(t *testing.T) {
+	start := time.Date(2019, time.October, 1, 0, 0, 0, 0, time.UTC)
+
+	t.Run("zero-duration window", func(t *testing.T) {
+		if tps := ObservedTPS(1000, start, start); tps != 0 {
+			t.Fatalf("ObservedTPS over empty window = %f, want 0", tps)
+		}
+	})
+	t.Run("inverted window", func(t *testing.T) {
+		if tps := ObservedTPS(1000, start, start.Add(-time.Hour)); tps != 0 {
+			t.Fatalf("ObservedTPS over inverted window = %f, want 0", tps)
+		}
+	})
+	t.Run("simple rate", func(t *testing.T) {
+		// 7200 transactions over one hour is 2 TPS.
+		got := ObservedTPS(7200, start, start.Add(time.Hour))
+		if math.Abs(got-2) > 1e-9 {
+			t.Fatalf("ObservedTPS = %f, want 2", got)
+		}
+	})
+	t.Run("paper window", func(t *testing.T) {
+		// The paper's 92-day window at EOS's ~20 TPS headline.
+		end := start.AddDate(0, 0, 92)
+		txs := int64(20 * 92 * 24 * 3600)
+		got := ObservedTPS(txs, start, end)
+		if math.Abs(got-20) > 1e-9 {
+			t.Fatalf("ObservedTPS = %f, want 20", got)
+		}
+	})
+}
+
+func TestEstimatedFullScaleTPS(t *testing.T) {
+	start := time.Date(2019, time.October, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(time.Hour)
+
+	t.Run("scale one is identity", func(t *testing.T) {
+		obs := ObservedTPS(3600, start, end)
+		est := EstimatedFullScaleTPS(3600, start, end, 1)
+		if est != obs {
+			t.Fatalf("scale=1 estimate %f != observed %f", est, obs)
+		}
+	})
+	t.Run("scaled-up estimate", func(t *testing.T) {
+		// A run at scale divisor 50 000 carries 1/50 000 of main-net
+		// traffic, so the estimate multiplies back up.
+		est := EstimatedFullScaleTPS(3600, start, end, 50_000)
+		if math.Abs(est-50_000) > 1e-6 {
+			t.Fatalf("estimate = %f, want 50000", est)
+		}
+	})
+	t.Run("non-positive scale clamps to one", func(t *testing.T) {
+		obs := ObservedTPS(3600, start, end)
+		for _, scale := range []int64{0, -7} {
+			if est := EstimatedFullScaleTPS(3600, start, end, scale); est != obs {
+				t.Fatalf("scale=%d estimate %f, want observed %f", scale, est, obs)
+			}
+		}
+	})
+	t.Run("zero-duration window stays zero", func(t *testing.T) {
+		if est := EstimatedFullScaleTPS(3600, start, start, 50_000); est != 0 {
+			t.Fatalf("estimate over empty window = %f, want 0", est)
+		}
+	})
+}

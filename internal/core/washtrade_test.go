@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// washScenario builds a WhaleEx-like trade set: a small ring of bots
+// self-trading heavily plus organic trades between distinct accounts.
+func washScenario() []DEXTrade {
+	var trades []DEXTrade
+	// Five bots, 40 self-trades each: balanced buy/sell in equal amounts,
+	// so net balance change is zero despite the turnover.
+	bots := []string{"bot1", "bot2", "bot3", "bot4", "bot5"}
+	for _, b := range bots {
+		for i := 0; i < 40; i++ {
+			trades = append(trades, DEXTrade{Buyer: b, Seller: b, Currency: "EOS", Amount: 10})
+		}
+	}
+	// Organic tail: 30 genuine trades between distinct low-volume accounts.
+	for i := 0; i < 30; i++ {
+		trades = append(trades, DEXTrade{
+			Buyer:    "organic-buyer",
+			Seller:   "organic-seller",
+			Currency: "EOS",
+			Amount:   1,
+		})
+	}
+	return trades
+}
+
+func TestAnalyzeWashTradesEmpty(t *testing.T) {
+	rep := AnalyzeWashTrades(nil, 5)
+	if rep.TotalTrades != 0 || rep.SelfTradeShare != 0 || len(rep.TopAccounts) != 0 {
+		t.Fatalf("empty input produced non-empty report: %+v", rep)
+	}
+}
+
+func TestAnalyzeWashTradesSelfTradeShare(t *testing.T) {
+	trades := washScenario()
+	rep := AnalyzeWashTrades(trades, 5)
+	if rep.TotalTrades != int64(len(trades)) {
+		t.Fatalf("TotalTrades = %d, want %d", rep.TotalTrades, len(trades))
+	}
+	// 200 of 230 trades are self-trades.
+	want := 200.0 / 230.0
+	if math.Abs(rep.SelfTradeShare-want) > 1e-9 {
+		t.Fatalf("SelfTradeShare = %f, want %f", rep.SelfTradeShare, want)
+	}
+}
+
+func TestAnalyzeWashTradesTopAccounts(t *testing.T) {
+	rep := AnalyzeWashTrades(washScenario(), 5)
+	if len(rep.TopAccounts) != 5 {
+		t.Fatalf("TopAccounts = %d entries, want 5", len(rep.TopAccounts))
+	}
+	for _, w := range rep.TopAccounts {
+		// The five bots dominate by trade count and self-trade 100 %.
+		if w.Account == "organic-buyer" || w.Account == "organic-seller" {
+			t.Fatalf("organic account %s ranked in top 5", w.Account)
+		}
+		if w.SelfTradeShare != 1 {
+			t.Errorf("bot %s self-trade share %f, want 1", w.Account, w.SelfTradeShare)
+		}
+		if w.Trades != 40 {
+			t.Errorf("bot %s trades = %d, want 40", w.Account, w.Trades)
+		}
+	}
+	// 200 of 230 trades involve a top-5 account.
+	want := 200.0 / 230.0
+	if math.Abs(rep.Top5Share-want) > 1e-9 {
+		t.Fatalf("Top5Share = %f, want %f", rep.Top5Share, want)
+	}
+}
+
+func TestAnalyzeWashTradesBalanceChanges(t *testing.T) {
+	rep := AnalyzeWashTrades(washScenario(), 5)
+	if len(rep.BalanceChanges) != 5 {
+		t.Fatalf("BalanceChanges = %d entries, want 5", len(rep.BalanceChanges))
+	}
+	for _, bc := range rep.BalanceChanges {
+		// Pure self-trading nets to zero in every traded currency — the
+		// wash fingerprint the paper highlights.
+		if bc.Currencies != 1 {
+			t.Errorf("%s traded %d currencies, want 1", bc.Account, bc.Currencies)
+		}
+		if bc.UnchangedCurrencies != bc.Currencies {
+			t.Errorf("%s: %d/%d currencies unchanged, want all", bc.Account, bc.UnchangedCurrencies, bc.Currencies)
+		}
+	}
+}
+
+func TestAnalyzeWashTradesDirectionalFlowsAreNotWash(t *testing.T) {
+	// One account only buys: its net change equals its turnover, so it
+	// must NOT count as unchanged.
+	var trades []DEXTrade
+	for i := 0; i < 10; i++ {
+		trades = append(trades, DEXTrade{Buyer: "whale", Seller: "seller", Currency: "EOS", Amount: 5})
+	}
+	rep := AnalyzeWashTrades(trades, 1)
+	if rep.SelfTradeShare != 0 {
+		t.Fatalf("SelfTradeShare = %f, want 0", rep.SelfTradeShare)
+	}
+	if len(rep.BalanceChanges) != 1 {
+		t.Fatalf("BalanceChanges: %+v", rep.BalanceChanges)
+	}
+	bc := rep.BalanceChanges[0]
+	if bc.UnchangedCurrencies != 0 {
+		t.Fatalf("directional flow reported as unchanged: %+v", bc)
+	}
+}
+
+func TestAnalyzeWashTradesTopKClamped(t *testing.T) {
+	trades := []DEXTrade{{Buyer: "a", Seller: "b", Currency: "EOS", Amount: 1}}
+	rep := AnalyzeWashTrades(trades, 10)
+	if len(rep.TopAccounts) != 2 {
+		t.Fatalf("TopAccounts = %d, want the 2 accounts present", len(rep.TopAccounts))
+	}
+}
+
+func TestConcentration(t *testing.T) {
+	// Uniform activity: Gini 0; one dominant account: high top-1 share.
+	uniform := []float64{1, 1, 1, 1}
+	c := Concentration(uniform, 2)
+	if c.Accounts != 4 || c.K != 2 {
+		t.Fatalf("stats: %+v", c)
+	}
+	if c.Gini > 0.01 {
+		t.Errorf("uniform Gini = %f, want ~0", c.Gini)
+	}
+	if math.Abs(c.TopKShare-0.5) > 1e-9 {
+		t.Errorf("uniform top-2 share = %f, want 0.5", c.TopKShare)
+	}
+
+	skewed := []float64{97, 1, 1, 1}
+	c = Concentration(skewed, 1)
+	if c.TopKShare < 0.9 {
+		t.Errorf("skewed top-1 share = %f, want ~0.97", c.TopKShare)
+	}
+	if c.Gini < 0.5 {
+		t.Errorf("skewed Gini = %f, want high", c.Gini)
+	}
+}

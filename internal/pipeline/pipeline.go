@@ -5,6 +5,10 @@
 // XRP WebSocket plus the explorer's Data API), collects everything with the
 // reverse-chronological crawler, and feeds the crawled wire data into the
 // measurement aggregators.
+//
+// The stages are independent chain reproductions, so Run executes them as a
+// stage graph under a bounded scheduler (see Stage and RunStages) rather
+// than sequentially; per-stage wall-clocks surface in Result.StageMetrics.
 package pipeline
 
 import (
@@ -24,15 +28,31 @@ import (
 	"repro/internal/xrp"
 )
 
-// Options selects the scale divisors and crawl parallelism.
+// StageOptions are the per-stage scenario knobs. Every chain reproduction
+// carries its own scale divisor and seed so scenarios can be re-run or
+// extended independently without touching the scheduler.
+type StageOptions struct {
+	// Scale is the scale divisor (the paper's shares and rankings are
+	// scale-invariant; see DESIGN.md). Zero selects a fast default
+	// suitable for tests.
+	Scale int64
+	// Seed makes the stage's workload deterministic. Zero selects the
+	// default seed.
+	Seed int64
+}
+
+// Options selects the per-stage scales, crawl parallelism and scheduling.
 type Options struct {
-	// EOSScale, TezosScale, XRPScale and GovScale are the per-chain scale
-	// divisors (the paper's shares and rankings are scale-invariant; see
-	// DESIGN.md). Zero selects fast defaults suitable for tests.
-	EOSScale, TezosScale, XRPScale, GovScale int64
-	Seed                                     int64
-	// Workers is the crawl concurrency per chain.
+	// EOS, Tezos, XRP and Gov configure the built-in stages.
+	EOS, Tezos, XRP, Gov StageOptions
+
+	// Workers sizes the crawl worker pool shared by every stage: it bounds
+	// in-flight block fetches across all concurrent crawls.
 	Workers int
+	// StageWorkers bounds how many stages run concurrently. Zero means
+	// every ready stage runs in parallel; 1 reproduces the old sequential
+	// pipeline.
+	StageWorkers int
 	// Bucket is the throughput time-series bucket (paper: 6 hours).
 	Bucket time.Duration
 	// EOSEndpoints is how many EOS endpoints to expose for probing; the
@@ -43,21 +63,57 @@ type Options struct {
 	// SkipGovernance disables the Babylon replay when only the main
 	// window is needed.
 	SkipGovernance bool
+
+	// ExtraStages are appended to the built-in stage graph. They may
+	// depend on built-in stage names ("eos", "tezos", "xrp",
+	// "governance") via Stage.After. Note that SkipGovernance removes
+	// the "governance" stage from the graph, so depending on it then is
+	// a graph-validation error.
+	ExtraStages []Stage
 }
 
 // DefaultOptions returns bench-friendly scales.
 func DefaultOptions() Options {
 	return Options{
-		EOSScale:     50_000,
-		TezosScale:   800,
-		XRPScale:     20_000,
-		GovScale:     400,
-		Seed:         1,
+		EOS:          StageOptions{Scale: 50_000, Seed: 1},
+		Tezos:        StageOptions{Scale: 800, Seed: 1},
+		XRP:          StageOptions{Scale: 20_000, Seed: 1},
+		Gov:          StageOptions{Scale: 400, Seed: 1},
 		Workers:      4,
 		Bucket:       6 * time.Hour,
 		EOSEndpoints: 8,
 		EOSShortlist: 3,
 	}
+}
+
+func (o Options) withDefaults() Options {
+	def := DefaultOptions()
+	norm := func(s, d StageOptions) StageOptions {
+		if s.Scale <= 0 {
+			s.Scale = d.Scale
+		}
+		if s.Seed == 0 {
+			s.Seed = d.Seed
+		}
+		return s
+	}
+	o.EOS = norm(o.EOS, def.EOS)
+	o.Tezos = norm(o.Tezos, def.Tezos)
+	o.XRP = norm(o.XRP, def.XRP)
+	o.Gov = norm(o.Gov, def.Gov)
+	if o.Workers <= 0 {
+		o.Workers = def.Workers
+	}
+	if o.Bucket <= 0 {
+		o.Bucket = def.Bucket
+	}
+	if o.EOSEndpoints <= 0 {
+		o.EOSEndpoints = def.EOSEndpoints
+	}
+	if o.EOSShortlist <= 0 {
+		o.EOSShortlist = def.EOSShortlist
+	}
+	return o
 }
 
 // Result carries every aggregate the report renderers need.
@@ -81,6 +137,10 @@ type Result struct {
 	XRPScenario *workload.XRPScenario
 	// EOSScenario exposes the EOS chain for case-study lookups.
 	EOSScenario *workload.EOSScenario
+
+	// StageMetrics records each stage's wall-clock, crawl volume and
+	// pipeline-side TPS, ordered like the stage graph.
+	StageMetrics []StageMetric
 }
 
 // ClusterFunc returns the Figure 12 clustering function backed by the
@@ -89,51 +149,37 @@ func (r *Result) ClusterFunc() core.ClusterFunc {
 	return func(addr string) string { return r.Dir.ClusterName(xrp.Address(addr)) }
 }
 
-// Run executes the whole reproduction.
+// Run executes the whole reproduction as a stage graph: the EOS, Tezos,
+// XRP and governance stages run concurrently (bounded by
+// Options.StageWorkers) over a shared crawl worker pool. The first stage
+// failure cancels the others and is returned.
 func Run(ctx context.Context, opts Options) (*Result, error) {
-	def := DefaultOptions()
-	if opts.EOSScale <= 0 {
-		opts.EOSScale = def.EOSScale
-	}
-	if opts.TezosScale <= 0 {
-		opts.TezosScale = def.TezosScale
-	}
-	if opts.XRPScale <= 0 {
-		opts.XRPScale = def.XRPScale
-	}
-	if opts.GovScale <= 0 {
-		opts.GovScale = def.GovScale
-	}
-	if opts.Seed == 0 {
-		opts.Seed = def.Seed
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = def.Workers
-	}
-	if opts.Bucket <= 0 {
-		opts.Bucket = def.Bucket
-	}
-	if opts.EOSEndpoints <= 0 {
-		opts.EOSEndpoints = def.EOSEndpoints
-	}
-	if opts.EOSShortlist <= 0 {
-		opts.EOSShortlist = def.EOSShortlist
-	}
-
+	opts = opts.withDefaults()
 	res := &Result{Opts: opts}
-	if err := res.runEOS(ctx, opts); err != nil {
-		return nil, fmt.Errorf("pipeline: EOS stage: %w", err)
-	}
-	if err := res.runTezos(ctx, opts); err != nil {
-		return nil, fmt.Errorf("pipeline: Tezos stage: %w", err)
-	}
-	if err := res.runXRP(ctx, opts); err != nil {
-		return nil, fmt.Errorf("pipeline: XRP stage: %w", err)
+	pool := collect.NewPool(opts.Workers)
+
+	stages := []Stage{
+		{Name: "eos", Run: func(ctx context.Context) (StageStats, error) {
+			return res.runEOS(ctx, opts, pool)
+		}},
+		{Name: "tezos", Run: func(ctx context.Context) (StageStats, error) {
+			return res.runTezos(ctx, opts, pool)
+		}},
+		{Name: "xrp", Run: func(ctx context.Context) (StageStats, error) {
+			return res.runXRP(ctx, opts, pool)
+		}},
 	}
 	if !opts.SkipGovernance {
-		if err := res.runGovernance(ctx, opts); err != nil {
-			return nil, fmt.Errorf("pipeline: governance stage: %w", err)
-		}
+		stages = append(stages, Stage{Name: "governance", Run: func(ctx context.Context) (StageStats, error) {
+			return res.runGovernance(ctx, opts, pool)
+		}})
+	}
+	stages = append(stages, opts.ExtraStages...)
+
+	metrics, err := RunStages(ctx, stages, opts.StageWorkers)
+	res.StageMetrics = metrics
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -150,10 +196,10 @@ func serve(h http.Handler) (string, func(), error) {
 	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
 }
 
-func (r *Result) runEOS(ctx context.Context, opts Options) error {
-	scenario, err := workload.BuildEOS(workload.EOSOptions{Scale: opts.EOSScale, Seed: opts.Seed})
+func (r *Result) runEOS(ctx context.Context, opts Options, pool *collect.Pool) (StageStats, error) {
+	scenario, err := workload.BuildEOS(workload.EOSOptions{Scale: opts.EOS.Scale, Seed: opts.EOS.Seed})
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	scenario.Run()
 	r.EOSScenario = scenario
@@ -178,7 +224,7 @@ func (r *Result) runEOS(ctx context.Context, opts Options) error {
 	for _, p := range profiles {
 		url, stop, err := serve(p.Middleware(handler))
 		if err != nil {
-			return err
+			return StageStats{}, err
 		}
 		defer stop()
 		urls = append(urls, url)
@@ -192,13 +238,13 @@ func (r *Result) runEOS(ctx context.Context, opts Options) error {
 		fetchers = append(fetchers, collect.NewEOSClient(s.URL))
 	}
 	if len(fetchers) == 0 {
-		return fmt.Errorf("no EOS endpoints survived probing")
+		return StageStats{}, fmt.Errorf("no EOS endpoints survived probing")
 	}
 	multi := &collect.MultiFetcher{Fetchers: fetchers}
 
 	agg := core.NewEOSAggregator(chain.ObservationStart, opts.Bucket)
 	crawl, err := collect.Crawl(ctx, multi, collect.CrawlConfig{
-		Workers: opts.Workers, MaxRetries: 8, Backoff: 5 * time.Millisecond,
+		Workers: opts.Workers, Pool: pool, MaxRetries: 8, Backoff: 5 * time.Millisecond,
 	}, func(num int64, raw []byte) error {
 		blk, err := collect.DecodeEOSBlock(raw)
 		if err != nil {
@@ -207,30 +253,30 @@ func (r *Result) runEOS(ctx context.Context, opts Options) error {
 		return agg.IngestBlock(blk)
 	})
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	r.EOS = agg
 	r.EOSCrawl = crawl
-	return nil
+	return StageStats{Blocks: crawl.Blocks, Transactions: agg.Transactions}, nil
 }
 
-func (r *Result) runTezos(ctx context.Context, opts Options) error {
-	scenario, err := workload.BuildTezos(workload.TezosOptions{Scale: opts.TezosScale, Seed: opts.Seed})
+func (r *Result) runTezos(ctx context.Context, opts Options, pool *collect.Pool) (StageStats, error) {
+	scenario, err := workload.BuildTezos(workload.TezosOptions{Scale: opts.Tezos.Scale, Seed: opts.Tezos.Seed})
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	if _, err := scenario.Run(); err != nil {
-		return err
+		return StageStats{}, err
 	}
 	url, stop, err := serve(rpcserve.NewTezosServer(scenario.Chain))
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	defer stop()
 
 	agg := core.NewTezosAggregator(chain.ObservationStart, opts.Bucket)
 	crawl, err := collect.Crawl(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
-		Workers: opts.Workers,
+		Workers: opts.Workers, Pool: pool,
 	}, func(num int64, raw []byte) error {
 		blk, err := collect.DecodeTezosBlock(raw)
 		if err != nil {
@@ -239,48 +285,49 @@ func (r *Result) runTezos(ctx context.Context, opts Options) error {
 		return agg.IngestBlock(blk)
 	})
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	r.Tezos = agg
 	r.TezosCrawl = crawl
-	return nil
+	return StageStats{Blocks: crawl.Blocks, Transactions: agg.Operations}, nil
 }
 
-func (r *Result) runGovernance(ctx context.Context, opts Options) error {
-	g, err := workload.BuildTezosGovernance(workload.GovernanceOptions{Scale: opts.GovScale, Seed: opts.Seed})
+func (r *Result) runGovernance(ctx context.Context, opts Options, pool *collect.Pool) (StageStats, error) {
+	g, err := workload.BuildTezosGovernance(workload.GovernanceOptions{Scale: opts.Gov.Scale, Seed: opts.Gov.Seed})
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	if _, err := g.Run(); err != nil {
-		return err
+		return StageStats{}, err
 	}
 	url, stop, err := serve(rpcserve.NewTezosServer(g.Chain))
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	defer stop()
 
 	// The governance replay starts in July; anchor its series there.
 	agg := core.NewTezosAggregator(time.Date(2019, time.July, 17, 0, 0, 0, 0, time.UTC), 24*time.Hour)
-	if _, err := collect.Crawl(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
-		Workers: opts.Workers,
+	crawl, err := collect.Crawl(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
+		Workers: opts.Workers, Pool: pool,
 	}, func(num int64, raw []byte) error {
 		blk, err := collect.DecodeTezosBlock(raw)
 		if err != nil {
 			return err
 		}
 		return agg.IngestBlock(blk)
-	}); err != nil {
-		return err
+	})
+	if err != nil {
+		return StageStats{}, err
 	}
 	r.Gov = agg
-	return nil
+	return StageStats{Blocks: crawl.Blocks, Transactions: agg.Operations}, nil
 }
 
-func (r *Result) runXRP(ctx context.Context, opts Options) error {
-	scenario, err := workload.BuildXRP(workload.XRPOptions{Scale: opts.XRPScale, Seed: opts.Seed})
+func (r *Result) runXRP(ctx context.Context, opts Options, pool *collect.Pool) (StageStats, error) {
+	scenario, err := workload.BuildXRP(workload.XRPOptions{Scale: opts.XRP.Scale, Seed: opts.XRP.Seed})
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	scenario.Run()
 	r.XRPScenario = scenario
@@ -288,7 +335,7 @@ func (r *Result) runXRP(ctx context.Context, opts Options) error {
 	// The ledger API over WebSocket.
 	wsURL, stopWS, err := serve(rpcserve.NewXRPServer(scenario.State))
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	defer stopWS()
 	wsURL = "ws" + strings.TrimPrefix(wsURL, "http")
@@ -301,7 +348,7 @@ func (r *Result) runXRP(ctx context.Context, opts Options) error {
 	oracle := explorer.NewRateOracle(scenario.State)
 	exURL, stopEx, err := serve(explorer.NewServer(dir, oracle))
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	defer stopEx()
 	r.Dir = dir
@@ -315,6 +362,7 @@ func (r *Result) runXRP(ctx context.Context, opts Options) error {
 		// October 1, so the crawl does too.
 		From:    scenario.SetupLedgers + 1,
 		Workers: 1, // the WebSocket protocol is sequential per connection
+		Pool:    pool,
 	}, func(num int64, raw []byte) error {
 		led, err := collect.DecodeXRPLedger(raw)
 		if err != nil {
@@ -323,15 +371,15 @@ func (r *Result) runXRP(ctx context.Context, opts Options) error {
 		return agg.IngestLedger(led)
 	})
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	// Pull trade records from the Data API, as the paper did for rates.
 	exchanges, err := explorer.FetchExchanges(exURL)
 	if err != nil {
-		return err
+		return StageStats{}, err
 	}
 	agg.AddExchanges(exchanges)
 	r.XRP = agg
 	r.XRPCrawl = crawl
-	return nil
+	return StageStats{Blocks: crawl.Blocks, Transactions: agg.Transactions}, nil
 }

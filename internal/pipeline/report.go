@@ -13,8 +13,7 @@ import (
 )
 
 // Paper-reported reference values, used in the rendered tables so every
-// output can be eyeballed against the original (EXPERIMENTS.md records the
-// same comparison).
+// output can be eyeballed against the original.
 var paperFigure1 = map[string]map[string]float64{
 	"eos":   {"transfer": 91.6, "others": 8.3},
 	"tezos": {"endorsement": 81.7, "transaction": 16.2},
@@ -80,17 +79,17 @@ func Figure2(r *Result) string {
 	out += table(func(w *tabwriter.Writer) {
 		fmt.Fprintln(w, "chain\tscale\tblocks\ttxs\tgzip bytes\tblocks ×scale\ttxs ×scale\tpaper blocks\tpaper txs")
 		fmt.Fprintf(w, "EOS\t%d\t%d\t%d\t%d\t%.3g\t%.3g\t16,299,999\t376,819,512\n",
-			r.Opts.EOSScale, r.EOSCrawl.Blocks, r.EOS.Transactions, r.EOSCrawl.GzipBytes,
-			float64(r.EOSCrawl.Blocks)*float64(r.Opts.EOSScale),
-			float64(r.EOS.Transactions)*float64(r.Opts.EOSScale))
+			r.Opts.EOS.Scale, r.EOSCrawl.Blocks, r.EOS.Transactions, r.EOSCrawl.GzipBytes,
+			float64(r.EOSCrawl.Blocks)*float64(r.Opts.EOS.Scale),
+			float64(r.EOS.Transactions)*float64(r.Opts.EOS.Scale))
 		fmt.Fprintf(w, "Tezos\t%d\t%d\t%d\t%d\t%.3g\t%.3g\t131,801\t3,345,019\n",
-			r.Opts.TezosScale, r.TezosCrawl.Blocks, r.Tezos.Operations, r.TezosCrawl.GzipBytes,
-			float64(r.TezosCrawl.Blocks)*float64(r.Opts.TezosScale),
-			float64(r.Tezos.Operations)*float64(r.Opts.TezosScale))
+			r.Opts.Tezos.Scale, r.TezosCrawl.Blocks, r.Tezos.Operations, r.TezosCrawl.GzipBytes,
+			float64(r.TezosCrawl.Blocks)*float64(r.Opts.Tezos.Scale),
+			float64(r.Tezos.Operations)*float64(r.Opts.Tezos.Scale))
 		fmt.Fprintf(w, "XRP\t%d\t%d\t%d\t%d\t%.3g\t%.3g\t2,031,069\t151,324,595\n",
-			r.Opts.XRPScale, r.XRPCrawl.Blocks, r.XRP.Transactions, r.XRPCrawl.GzipBytes,
-			float64(r.XRPCrawl.Blocks)*float64(r.Opts.XRPScale),
-			float64(r.XRP.Transactions)*float64(r.Opts.XRPScale))
+			r.Opts.XRP.Scale, r.XRPCrawl.Blocks, r.XRP.Transactions, r.XRPCrawl.GzipBytes,
+			float64(r.XRPCrawl.Blocks)*float64(r.Opts.XRP.Scale),
+			float64(r.XRP.Transactions)*float64(r.Opts.XRP.Scale))
 	})
 	return out
 }
@@ -288,8 +287,8 @@ func Figure11(r *Result) string {
 func Figure12(r *Result) string {
 	flow := r.XRP.ValueFlow(r.ClusterFunc(), 8)
 	var sb strings.Builder
-	scale := float64(r.Opts.XRPScale)
-	sb.WriteString(fmt.Sprintf("Figure 12 — XRP value flow (scaled run; ×%d ≈ main net)\n", r.Opts.XRPScale))
+	scale := float64(r.Opts.XRP.Scale)
+	sb.WriteString(fmt.Sprintf("Figure 12 — XRP value flow (scaled run; ×%d ≈ main net)\n", r.Opts.XRP.Scale))
 	sb.WriteString(fmt.Sprintf("  total volume: %.3g XRP scaled (≈ %.3g full-scale; paper: 43B XRP + IOU flows)\n",
 		flow.TotalXRPVolume, flow.TotalXRPVolume*scale))
 	sb.WriteString("  top senders:\n")
@@ -311,9 +310,9 @@ func Figure12(r *Result) string {
 func HeadlineTPS(r *Result) string {
 	var sb strings.Builder
 	sb.WriteString("Headline TPS (full-scale estimate | paper)\n")
-	eos := core.EstimatedFullScaleTPS(r.EOS.Transactions, r.EOS.FirstBlockTime, r.EOS.LastBlockTime, r.Opts.EOSScale)
-	tez := core.EstimatedFullScaleTPS(r.Tezos.Operations, r.Tezos.FirstBlockTime, r.Tezos.LastBlockTime, r.Opts.TezosScale)
-	xrpTPS := core.EstimatedFullScaleTPS(r.XRP.Transactions, r.XRP.FirstLedgerTime, r.XRP.LastLedgerTime, r.Opts.XRPScale)
+	eos := core.EstimatedFullScaleTPS(r.EOS.Transactions, r.EOS.FirstBlockTime, r.EOS.LastBlockTime, r.Opts.EOS.Scale)
+	tez := core.EstimatedFullScaleTPS(r.Tezos.Operations, r.Tezos.FirstBlockTime, r.Tezos.LastBlockTime, r.Opts.Tezos.Scale)
+	xrpTPS := core.EstimatedFullScaleTPS(r.XRP.Transactions, r.XRP.FirstLedgerTime, r.XRP.LastLedgerTime, r.Opts.XRP.Scale)
 	sb.WriteString(fmt.Sprintf("  EOS   %8.1f tx/s | ~47 tx/s incl. EIDOS era (headline 20)\n", eos))
 	sb.WriteString(fmt.Sprintf("  Tezos %8.2f op/s | 0.42 op/s total ops; headline 0.08 TPS for transactions\n", tez))
 	sb.WriteString(fmt.Sprintf("  XRP   %8.1f tx/s | ~19 tx/s\n", xrpTPS))
@@ -404,9 +403,29 @@ func EndpointReport(r *Result) string {
 	return sb.String()
 }
 
+// StageTimings renders the orchestrator's per-stage wall-clock, crawl
+// volume and pipeline-side throughput.
+func StageTimings(r *Result) string {
+	var sb strings.Builder
+	sb.WriteString("Stage timings — orchestrator wall-clock per stage\n")
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "stage\twall-clock\tblocks\ttransactions\tpipeline TPS")
+		for _, m := range r.StageMetrics {
+			if m.Skipped {
+				fmt.Fprintf(w, "%s\t(skipped)\t-\t-\t-\n", m.Name)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.0f\n",
+				m.Name, m.Elapsed.Round(time.Millisecond), m.Blocks, m.Transactions, m.TPS)
+		}
+	}))
+	return sb.String()
+}
+
 // FullReport renders every table and figure.
 func FullReport(r *Result) string {
 	sections := []string{
+		StageTimings(r),
 		EndpointReport(r),
 		Figure1(r),
 		Figure2(r),

@@ -1,0 +1,128 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// RunStages executes a stage graph: every stage whose After dependencies
+// have completed is eligible, and at most maxParallel stages run at once
+// (maxParallel <= 0 means no bound beyond the graph itself; 1 reproduces a
+// sequential pipeline). The first stage error cancels the context passed to
+// all in-flight stages, prevents new launches, and is returned after the
+// in-flight stages drain. The returned metrics are ordered like stages;
+// stages that never started are marked Skipped.
+func RunStages(parent context.Context, stages []Stage, maxParallel int) ([]StageMetric, error) {
+	byName := make(map[string]int, len(stages))
+	for i, s := range stages {
+		if s.Name == "" {
+			return nil, fmt.Errorf("pipeline: stage %d has no name", i)
+		}
+		if s.Run == nil {
+			return nil, fmt.Errorf("pipeline: stage %q has no run function", s.Name)
+		}
+		if _, dup := byName[s.Name]; dup {
+			return nil, fmt.Errorf("pipeline: duplicate stage %q", s.Name)
+		}
+		byName[s.Name] = i
+	}
+	indeg := make([]int, len(stages))
+	dependents := make([][]int, len(stages))
+	for i, s := range stages {
+		for _, dep := range s.After {
+			j, ok := byName[dep]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: stage %q depends on unknown stage %q", s.Name, dep)
+			}
+			if j == i {
+				return nil, fmt.Errorf("pipeline: stage %q depends on itself", s.Name)
+			}
+			indeg[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	if maxParallel <= 0 || maxParallel > len(stages) {
+		maxParallel = len(stages)
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	type completion struct {
+		idx    int
+		metric StageMetric
+		err    error
+	}
+	done := make(chan completion)
+
+	var ready []int
+	for i := range stages {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	metrics := make([]StageMetric, len(stages))
+	started := make([]bool, len(stages))
+	var firstErr error
+	inFlight, finished := 0, 0
+
+	launch := func(i int) {
+		started[i] = true
+		inFlight++
+		s := stages[i]
+		go func() {
+			start := time.Now()
+			stats, err := s.Run(ctx)
+			m := StageMetric{
+				Name:         s.Name,
+				Elapsed:      time.Since(start),
+				Blocks:       stats.Blocks,
+				Transactions: stats.Transactions,
+			}
+			if secs := m.Elapsed.Seconds(); secs > 0 {
+				m.TPS = float64(stats.Transactions) / secs
+			}
+			done <- completion{idx: i, metric: m, err: err}
+		}()
+	}
+
+	for finished < len(stages) {
+		for firstErr == nil && len(ready) > 0 && inFlight < maxParallel {
+			next := ready[0]
+			ready = ready[1:]
+			launch(next)
+		}
+		if inFlight == 0 {
+			break
+		}
+		c := <-done
+		inFlight--
+		finished++
+		metrics[c.idx] = c.metric
+		if c.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("pipeline: %s stage: %w", stages[c.idx].Name, c.err)
+			cancel()
+		}
+		for _, d := range dependents[c.idx] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+
+	for i := range stages {
+		if !started[i] {
+			metrics[i] = StageMetric{Name: stages[i].Name, Skipped: true}
+		}
+	}
+	if firstErr == nil && finished < len(stages) {
+		return metrics, fmt.Errorf("pipeline: stage graph has a dependency cycle (%d stages unreachable)", len(stages)-finished)
+	}
+	if firstErr == nil {
+		firstErr = parent.Err()
+	}
+	return metrics, firstErr
+}

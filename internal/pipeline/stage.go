@@ -1,0 +1,55 @@
+package pipeline
+
+import (
+	"context"
+	"time"
+)
+
+// Stage is one node in the pipeline's stage graph. The built-in stages —
+// the EOS, Tezos and XRP reproductions plus the Babylon governance replay —
+// are independent (each binds its own ephemeral loopback ports and writes
+// its own Result fields), so the scheduler may run them concurrently.
+// Additional scenarios register through Options.ExtraStages without
+// touching the scheduler.
+type Stage struct {
+	// Name identifies the stage in metrics and error messages. Names must
+	// be unique within one graph.
+	Name string
+	// After lists the names of stages that must complete successfully
+	// before this one starts. Stages with no ordering constraint run
+	// concurrently, bounded by the scheduler's worker pool.
+	After []string
+	// Run executes the stage. Implementations must honour ctx promptly:
+	// the scheduler cancels it as soon as any stage fails. A stage must
+	// only touch state no concurrent stage touches.
+	Run func(ctx context.Context) (StageStats, error)
+}
+
+// StageStats is what a stage reports about the workload it processed; the
+// scheduler combines it with the measured wall-clock into a StageMetric.
+type StageStats struct {
+	// Blocks is how many blocks (or ledgers) the stage crawled.
+	Blocks int64
+	// Transactions is how many transactions (or operations) the stage
+	// aggregated.
+	Transactions int64
+}
+
+// StageMetric records one stage's scheduling outcome: wall-clock, crawl
+// volume and effective throughput. Run surfaces these in Result in the
+// same order the stages were registered.
+type StageMetric struct {
+	Name    string
+	Elapsed time.Duration
+
+	Blocks       int64
+	Transactions int64
+
+	// TPS is aggregated transactions per wall-clock second of the stage —
+	// the pipeline-side throughput, not the simulated chain's TPS.
+	TPS float64
+
+	// Skipped marks stages that never started because an earlier stage
+	// failed or the context was cancelled first.
+	Skipped bool
+}
