@@ -18,8 +18,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/chain"
+	"repro/internal/collect"
+	"repro/internal/core"
 	"repro/internal/explorer"
 	"repro/internal/pipeline"
 	"repro/internal/rpcserve"
@@ -33,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "scenario seed")
 	addr := flag.String("addr", "127.0.0.1", "listen address")
 	stageWorkers := flag.Int("stage-workers", 0, "max concurrent history builds (0 = all three at once)")
+	selfCheck := flag.Int64("selfcheck", 25, "stream the newest N blocks of each chain through the ingestion API after startup (0 disables)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -110,14 +115,43 @@ func main() {
 	xrpAddr := serve("xrp", rpcserve.NewXRPServer(xrpScenario.State))
 	explorerAddr := serve("explorer", explorer.NewServer(dir, oracle))
 
+	// Verify each served API end to end through the streaming ingestion
+	// path cmd/crawl and the pipeline use: stream the newest blocks into
+	// the chain's aggregator and report what decoded.
+	if *selfCheck > 0 {
+		ctx := context.Background()
+		check := func(name string, f collect.BlockFetcher, dec core.Decoder, head int64, workers int, txs func() int64) {
+			from := head - *selfCheck + 1
+			if from < 1 {
+				from = 1
+			}
+			res, _, err := core.IngestCrawl(ctx, f, collect.CrawlConfig{From: from, To: head, Workers: workers}, dec, core.IngestConfig{})
+			if err != nil {
+				fail(fmt.Errorf("%s self-check: %w", name, err))
+			}
+			fmt.Printf("chainsim: %s self-check: streamed %d blocks, %d txs/ops\n", name, res.Blocks, txs())
+		}
+		eosAgg := core.NewEOSAggregator(chain.ObservationStart, 6*time.Hour)
+		check("eos", collect.NewEOSClient("http://"+eosAddr), core.EOSDecoder{Agg: eosAgg},
+			int64(eosScenario.Chain.HeadNum()), 4, func() int64 { return eosAgg.Transactions })
+		tezosAgg := core.NewTezosAggregator(chain.ObservationStart, 6*time.Hour)
+		check("tezos", collect.NewTezosClient("http://"+tezosAddr), core.TezosDecoder{Agg: tezosAgg},
+			tezosScenario.Chain.HeadLevel(), 4, func() int64 { return tezosAgg.Operations })
+		xrpAgg := core.NewXRPAggregator(chain.ObservationStart, 6*time.Hour)
+		xrpClient := collect.NewXRPClient("ws://" + xrpAddr)
+		check("xrp", xrpClient, core.XRPDecoder{Agg: xrpAgg},
+			xrpScenario.State.HeadIndex(), 1, func() int64 { return xrpAgg.Transactions })
+		xrpClient.Close()
+	}
+
 	fmt.Printf("EOS RPC:       http://%s (head block %d)\n", eosAddr, eosScenario.Chain.HeadNum())
 	fmt.Printf("Tezos RPC:     http://%s (head level %d)\n", tezosAddr, tezosScenario.Chain.HeadLevel())
 	fmt.Printf("XRP WebSocket: ws://%s (head ledger %d)\n", xrpAddr, xrpScenario.State.HeadIndex())
 	fmt.Printf("Explorer API:  http://%s\n", explorerAddr)
 	fmt.Println("chainsim: serving; Ctrl-C to stop")
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
 	fmt.Println("chainsim: bye")
 }

@@ -3,88 +3,160 @@
 // dataset characterization the paper's Figure 2 tabulates: block count,
 // transaction count and gzip-compressed size.
 //
+// Blocks flow through the bounded stream API (collect.Stream) into a
+// decode/ingest pool (core.IngestStream), so fetching and measurement are
+// decoupled the way the paper's long-running crawl machines were. With
+// -checkpoint the crawl is resumable: SIGINT/SIGTERM cancels it cleanly,
+// the partial summary and contiguous-frontier checkpoint are written, and
+// the next invocation with the same flag skips every block already
+// delivered.
+//
 // Usage:
 //
-//	crawl -chain eos   -endpoint http://127.0.0.1:PORT
-//	crawl -chain tezos -endpoint http://127.0.0.1:PORT
-//	crawl -chain xrp   -endpoint ws://127.0.0.1:PORT
+//	crawl -chain eos   -endpoint http://127.0.0.1:PORT [-checkpoint FILE]
+//	crawl -chain tezos -endpoint http://127.0.0.1:PORT [-checkpoint FILE]
+//	crawl -chain xrp   -endpoint ws://127.0.0.1:PORT   [-checkpoint FILE]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sync/atomic"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/chain"
 	"repro/internal/collect"
+	"repro/internal/core"
 )
 
+type crawlOpts struct {
+	chain      string
+	endpoint   string
+	checkpoint string
+	workers    int
+	ingest     int
+	batch      int
+	buffer     int
+	from, to   int64
+}
+
 func main() {
-	chainName := flag.String("chain", "", "eos, tezos or xrp")
-	endpoint := flag.String("endpoint", "", "endpoint URL")
-	workers := flag.Int("workers", 4, "concurrent fetchers (xrp uses 1)")
-	from := flag.Int64("from", 1, "first block")
-	to := flag.Int64("to", 0, "last block (0 = head)")
+	var o crawlOpts
+	flag.StringVar(&o.chain, "chain", "", "eos, tezos or xrp")
+	flag.StringVar(&o.endpoint, "endpoint", "", "endpoint URL")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: resume from it if present, write it on exit")
+	flag.IntVar(&o.workers, "workers", 4, "concurrent fetchers (xrp uses 1)")
+	flag.IntVar(&o.ingest, "ingest", 2, "decode/ingest workers")
+	flag.IntVar(&o.batch, "batch", 16, "blocks per aggregator lock acquisition")
+	flag.IntVar(&o.buffer, "buffer", 64, "stream buffer: max fetched-but-unprocessed blocks")
+	flag.Int64Var(&o.from, "from", 1, "first block")
+	flag.Int64Var(&o.to, "to", 0, "last block (0 = head)")
 	flag.Parse()
-	if *chainName == "" || *endpoint == "" {
+	if o.chain == "" || o.endpoint == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	var fetcher collect.BlockFetcher
-	var txs int64
-	var sink collect.Sink
-	switch *chainName {
-	case "eos":
-		fetcher = collect.NewEOSClient(*endpoint)
-		sink = func(num int64, raw []byte) error {
-			blk, err := collect.DecodeEOSBlock(raw)
-			if err != nil {
-				return err
-			}
-			atomic.AddInt64(&txs, int64(len(blk.Transactions)))
-			return nil
-		}
-	case "tezos":
-		fetcher = collect.NewTezosClient(*endpoint)
-		sink = func(num int64, raw []byte) error {
-			blk, err := collect.DecodeTezosBlock(raw)
-			if err != nil {
-				return err
-			}
-			atomic.AddInt64(&txs, int64(len(blk.Operations)))
-			return nil
-		}
-	case "xrp":
-		client := collect.NewXRPClient(*endpoint)
-		defer client.Close()
-		fetcher = client
-		*workers = 1
-		sink = func(num int64, raw []byte) error {
-			led, err := collect.DecodeXRPLedger(raw)
-			if err != nil {
-				return err
-			}
-			atomic.AddInt64(&txs, int64(len(led.Transactions)))
-			return nil
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "crawl: unknown chain %q\n", *chainName)
-		os.Exit(2)
-	}
+	// SIGINT/SIGTERM cancels the crawl context; the stream drains, the
+	// partial summary prints, and the checkpoint (if requested) is saved.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	res, err := collect.Crawl(context.Background(), fetcher, collect.CrawlConfig{
-		From: *from, To: *to, Workers: *workers,
-	}, sink)
-	if err != nil {
+	if err := run(ctx, o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "crawl:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("chain:       %s\n", *chainName)
-	fmt.Printf("blocks:      %d (failed %d, retries %d)\n", res.Blocks, res.Failed, res.Retries)
-	fmt.Printf("txs/ops:     %d\n", txs)
-	fmt.Printf("raw bytes:   %d\n", res.RawBytes)
-	fmt.Printf("gzip bytes:  %d (%.1f%% of raw)\n", res.GzipBytes, 100*float64(res.GzipBytes)/float64(res.RawBytes))
-	fmt.Printf("elapsed:     %v (%.0f blocks/s)\n", res.Elapsed, float64(res.Blocks)/res.Elapsed.Seconds())
+}
+
+// run executes one crawl. It is the whole command behind flag parsing and
+// signal wiring so tests can drive interruption and resume deterministically.
+func run(ctx context.Context, o crawlOpts, out io.Writer) error {
+	var fetcher collect.BlockFetcher
+	var dec core.Decoder
+	var txs func() int64
+	switch o.chain {
+	case "eos":
+		fetcher = collect.NewEOSClient(o.endpoint)
+		agg := core.NewEOSAggregator(chain.ObservationStart, 6*time.Hour)
+		dec = core.EOSDecoder{Agg: agg}
+		txs = func() int64 { return agg.Transactions }
+	case "tezos":
+		fetcher = collect.NewTezosClient(o.endpoint)
+		agg := core.NewTezosAggregator(chain.ObservationStart, 6*time.Hour)
+		dec = core.TezosDecoder{Agg: agg}
+		txs = func() int64 { return agg.Operations }
+	case "xrp":
+		client := collect.NewXRPClient(o.endpoint)
+		defer client.Close()
+		fetcher = client
+		o.workers = 1 // the WebSocket protocol is sequential per connection
+		agg := core.NewXRPAggregator(chain.ObservationStart, 6*time.Hour)
+		dec = core.XRPDecoder{Agg: agg}
+		txs = func() int64 { return agg.Transactions }
+	default:
+		return fmt.Errorf("unknown chain %q", o.chain)
+	}
+
+	cfg := collect.CrawlConfig{
+		From: o.from, To: o.to,
+		Workers: o.workers, Buffer: o.buffer,
+	}
+	if o.checkpoint != "" {
+		cp, err := collect.LoadCheckpoint(o.checkpoint)
+		switch {
+		case err == nil:
+			cfg.Resume = &cp
+			fmt.Fprintf(out, "resuming:    range [%d, %d], %d blocks remaining (checkpoint %s)\n",
+				cp.From, cp.To, cp.Remaining(), o.checkpoint)
+		case os.IsNotExist(err):
+			// Fresh crawl; the checkpoint is written on exit.
+		default:
+			return err
+		}
+	}
+
+	res, handle, err := core.IngestCrawl(ctx, fetcher, cfg, dec, core.IngestConfig{Workers: o.ingest, Batch: o.batch})
+	interrupted := errors.Is(err, context.Canceled) && !errors.Is(err, core.ErrIngest)
+	fmt.Fprintf(out, "chain:       %s\n", o.chain)
+	fmt.Fprintf(out, "blocks:      %d (failed %d, retries %d)\n", res.Blocks, res.Failed, res.Retries)
+	fmt.Fprintf(out, "skipped:     %d (already in checkpoint)\n", res.Skipped)
+	fmt.Fprintf(out, "txs/ops:     %d\n", txs())
+	fmt.Fprintf(out, "raw bytes:   %d\n", res.RawBytes)
+	if res.RawBytes > 0 {
+		fmt.Fprintf(out, "gzip bytes:  %d (%.1f%% of raw)\n", res.GzipBytes, 100*float64(res.GzipBytes)/float64(res.RawBytes))
+	}
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		fmt.Fprintf(out, "elapsed:     %v (%.0f blocks/s)\n", res.Elapsed, float64(res.Blocks)/secs)
+	}
+
+	// Persist progress — but never over an ingest error (blocks the stream
+	// delivered but the pool failed to fold in would be recorded as done
+	// and skipped forever on resume), and never before the crawl resolved
+	// its range (cp.To == 0: an all-zero checkpoint would fail validation
+	// on every later run and brick the file).
+	saved := false
+	if o.checkpoint != "" && !errors.Is(err, core.ErrIngest) {
+		if cp := handle.Checkpoint(); cp.To > 0 {
+			if serr := cp.Save(o.checkpoint); serr != nil {
+				return fmt.Errorf("saving checkpoint: %w", serr)
+			}
+			saved = true
+			fmt.Fprintf(out, "checkpoint:  %s (frontier %d, %d blocks remaining)\n",
+				o.checkpoint, cp.Frontier, cp.Remaining())
+		}
+	}
+
+	if interrupted {
+		if !saved {
+			return fmt.Errorf("interrupted before any progress could be checkpointed: %w", err)
+		}
+		fmt.Fprintln(out, "interrupted — rerun with the same -checkpoint to resume")
+		return nil
+	}
+	return err
 }

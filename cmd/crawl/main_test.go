@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/collect"
+	"repro/internal/eos"
+	"repro/internal/rpcserve"
+)
+
+// countingEOSServer serves an EOS chain and records every get_block number
+// handed out, cancelling interrupt after the limit-th block — standing in
+// for a SIGINT landing mid-crawl.
+type countingEOSServer struct {
+	srv       *httptest.Server
+	mu        sync.Mutex
+	fetched   map[int64]int
+	served    int
+	limit     int
+	interrupt context.CancelFunc
+}
+
+func newCountingEOSServer(t *testing.T, nBlocks int) *countingEOSServer {
+	t.Helper()
+	c := eos.New(eos.DefaultConfig(1000))
+	alice, bob := eos.MustName("alice"), eos.MustName("bob")
+	for _, n := range []eos.Name{alice, bob} {
+		if err := c.CreateAccount(n, eos.SystemAccount); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Tokens().Transfer(eos.TokenAccount, eos.SystemAccount, n, chain.EOSAsset(1_000_0000)); err != nil {
+			t.Fatal(err)
+		}
+		c.Resources().Stake(&c.GetAccount(n).Resources, 100_0000, 100_0000)
+	}
+	for i := 0; i < nBlocks; i++ {
+		c.PushTransaction(eos.NewAction(eos.TokenAccount, eos.ActTransfer, alice, map[string]string{
+			"from": "alice", "to": "bob", "quantity": "0.0001 EOS",
+		}))
+		c.ProduceBlock()
+	}
+
+	s := &countingEOSServer{fetched: make(map[int64]int)}
+	inner := rpcserve.NewEOSServer(c)
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/get_block") {
+			body, _ := io.ReadAll(r.Body)
+			var req struct {
+				Num json.Number `json:"block_num_or_id"`
+			}
+			json.Unmarshal(body, &req)
+			num, _ := req.Num.Int64()
+			s.mu.Lock()
+			s.fetched[num]++
+			s.served++
+			if s.limit > 0 && s.served == s.limit && s.interrupt != nil {
+				s.interrupt()
+			}
+			s.mu.Unlock()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *countingEOSServer) reset() {
+	s.mu.Lock()
+	s.fetched = make(map[int64]int)
+	s.served = 0
+	s.limit = 0
+	s.interrupt = nil
+	s.mu.Unlock()
+}
+
+func (s *countingEOSServer) fetchedNums() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nums := make([]int64, 0, len(s.fetched))
+	for n := range s.fetched {
+		nums = append(nums, n)
+	}
+	return nums
+}
+
+// TestCrawlInterruptResume is the command-level acceptance path: a crawl
+// killed mid-flight writes its checkpoint, prints a partial summary, and
+// the rerun skips every checkpointed block — the server never sees a
+// request for a block the first run already delivered.
+func TestCrawlInterruptResume(t *testing.T) {
+	const total = 40
+	s := newCountingEOSServer(t, total)
+	ckpt := filepath.Join(t.TempDir(), "eos.ckpt")
+	opts := crawlOpts{
+		chain: "eos", endpoint: s.srv.URL, checkpoint: ckpt,
+		workers: 2, ingest: 2, batch: 4, buffer: 8, from: 1,
+	}
+
+	// First run: the 15th served block triggers cancellation, as SIGINT
+	// does through signal.NotifyContext in main.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.mu.Lock()
+	s.limit, s.interrupt = 15, cancel
+	s.mu.Unlock()
+	var out1 bytes.Buffer
+	if err := run(ctx, opts, &out1); err != nil {
+		t.Fatalf("interrupted run returned error: %v\n%s", err, out1.String())
+	}
+	if !strings.Contains(out1.String(), "interrupted") {
+		t.Fatalf("interrupted run printed no partial summary:\n%s", out1.String())
+	}
+	if !strings.Contains(out1.String(), "checkpoint:") {
+		t.Fatalf("interrupted run saved no checkpoint:\n%s", out1.String())
+	}
+
+	cp, err := collect.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []int64
+	for n := int64(1); n <= total; n++ {
+		if cp.Done(n) {
+			done = append(done, n)
+		}
+	}
+	if len(done) == 0 {
+		t.Fatal("checkpoint records nothing done after 15 served blocks")
+	}
+	if len(done) == total {
+		t.Fatal("interrupted crawl completed everything — interruption never landed")
+	}
+
+	// Second run resumes to completion.
+	s.reset()
+	var out2 bytes.Buffer
+	if err := run(context.Background(), opts, &out2); err != nil {
+		t.Fatalf("resumed run failed: %v\n%s", err, out2.String())
+	}
+	for _, num := range s.fetchedNums() {
+		if cp.Done(num) {
+			t.Fatalf("resumed run refetched block %d, which the checkpoint records as done", num)
+		}
+	}
+	if want := len(done); !strings.Contains(out2.String(), fmt.Sprintf("skipped:     %d", want)) {
+		t.Fatalf("resumed run should report %d skipped blocks:\n%s", want, out2.String())
+	}
+
+	// The final checkpoint leaves nothing to do: a third run fetches zero.
+	s.reset()
+	var out3 bytes.Buffer
+	if err := run(context.Background(), opts, &out3); err != nil {
+		t.Fatal(err)
+	}
+	if nums := s.fetchedNums(); len(nums) != 0 {
+		t.Fatalf("third run refetched %v after a complete checkpoint", nums)
+	}
+}
+
+// TestCrawlInterruptWithoutCheckpointFails: with no -checkpoint there is
+// nothing to resume from, so an interrupted run must report the lost
+// progress as an error instead of exiting 0 with a resume hint.
+func TestCrawlInterruptWithoutCheckpointFails(t *testing.T) {
+	s := newCountingEOSServer(t, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.mu.Lock()
+	s.limit, s.interrupt = 10, cancel
+	s.mu.Unlock()
+	var out bytes.Buffer
+	err := run(ctx, crawlOpts{chain: "eos", endpoint: s.srv.URL, workers: 2, ingest: 1, batch: 4, buffer: 8, from: 1}, &out)
+	if err == nil {
+		t.Fatalf("interrupted checkpoint-less run exited clean:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "rerun with the same -checkpoint") {
+		t.Fatalf("checkpoint-less run suggests resuming from a checkpoint that was never written:\n%s", out.String())
+	}
+}
+
+// TestCrawlFailedBeforeRangeWritesNoCheckpoint: a run that dies before the
+// crawl range resolves (dead endpoint, or SIGINT beating head resolution)
+// must not write the all-zero checkpoint that would fail validation and
+// brick every later run against the same file.
+func TestCrawlFailedBeforeRangeWritesNoCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "eos.ckpt")
+	opts := crawlOpts{
+		chain: "eos", endpoint: "http://127.0.0.1:1", checkpoint: ckpt,
+		workers: 1, ingest: 1, batch: 4, buffer: 8, from: 1,
+	}
+	if err := run(context.Background(), opts, io.Discard); err == nil {
+		t.Fatal("crawl against a dead endpoint succeeded")
+	}
+	if _, err := collect.LoadCheckpoint(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("dead-endpoint run left a checkpoint behind (load err: %v)", err)
+	}
+
+	// The same checkpoint path must still work for a later healthy run.
+	s := newCountingEOSServer(t, 10)
+	opts.endpoint = s.srv.URL
+	var out bytes.Buffer
+	if err := run(context.Background(), opts, &out); err != nil {
+		t.Fatalf("healthy run after failed run: %v\n%s", err, out.String())
+	}
+	if cp, err := collect.LoadCheckpoint(ckpt); err != nil || cp.Remaining() != 0 {
+		t.Fatalf("healthy run checkpoint: %+v, %v", cp, err)
+	}
+}
+
+// TestCrawlUnknownChain keeps the flag validation honest.
+func TestCrawlUnknownChain(t *testing.T) {
+	if err := run(context.Background(), crawlOpts{chain: "doge", endpoint: "http://x"}, io.Discard); err == nil {
+		t.Fatal("unknown chain accepted")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/collect"
 	"repro/internal/pipeline"
 )
 
@@ -31,8 +32,17 @@ func main() {
 	flag.IntVar(&opts.Workers, "workers", opts.Workers, "shared crawl worker pool size")
 	flag.IntVar(&opts.StageWorkers, "stage-workers", opts.StageWorkers, "max concurrently running stages (0 = unbounded, 1 = sequential)")
 	figure := flag.String("figure", "all", "figure to print: all, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, tps, cases, endpoints, stages")
+	stress := flag.Bool("stress", false, "add the eidos-stress stage: the EOS workload at a hotter arrival rate, reported in the stage timings")
+	stressScale := flag.Int64("stress-scale", 0, "eidos-stress scale divisor (0 = quarter of the EOS default)")
 	flag.Parse()
 	opts.EOS.Seed, opts.Tezos.Seed, opts.XRP.Seed, opts.Gov.Seed = *seed, *seed, *seed, *seed
+	if *stress {
+		// One shared fetch pool keeps the stress stage inside the same
+		// total fetch-concurrency budget as the built-in stages.
+		opts.Pool = collect.NewPool(opts.Workers)
+		opts.ExtraStages = append(opts.ExtraStages,
+			pipeline.EIDOSStressStage(pipeline.StageOptions{Scale: *stressScale, Seed: *seed}, opts))
+	}
 
 	res, err := pipeline.Run(context.Background(), opts)
 	if err != nil {

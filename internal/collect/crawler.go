@@ -7,8 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"repro/internal/stats"
 )
 
 // BlockFetcher abstracts one chain endpoint for the crawler.
@@ -35,6 +33,18 @@ type CrawlConfig struct {
 	// every other crawl sharing the pool. Workers still sets the shard
 	// count; the pool gates the actual fetch attempts.
 	Pool *Pool
+	// Buffer is the stream channel capacity (default 64): how many fetched
+	// blocks may sit between the crawl workers and the consumer before the
+	// workers block. This is the backpressure bound — a stalled consumer
+	// stops the fetch side after at most Buffer buffered blocks.
+	Buffer int
+	// Ingest is how many consumer goroutines the Crawl adapter drains the
+	// stream with (default: Workers). Stream ignores it — callers of
+	// Stream bring their own consumers.
+	Ingest int
+	// Resume, when set, pins the crawl to the checkpoint's range and skips
+	// every block the checkpoint records as delivered.
+	Resume *Checkpoint
 }
 
 // CrawlResult summarizes a finished crawl.
@@ -45,86 +55,52 @@ type CrawlResult struct {
 	GzipBytes int64
 	Elapsed   time.Duration
 	Retries   int64
+	// Skipped counts blocks a resume checkpoint let the crawl avoid
+	// refetching.
+	Skipped int64
 }
 
 // Sink receives each fetched block. Implementations must be safe for
 // concurrent use; the crawler delivers blocks from many workers.
 type Sink func(num int64, raw []byte) error
 
-// Crawl walks the range in reverse chronological order with a worker pool,
-// retrying transient failures with exponential backoff and honouring rate
-// limits. The range is sharded by stride: worker k fetches To-k,
-// To-k-Workers, … so the crawl stays approximately newest-first overall
-// (and exactly newest-first with one worker). Every fetched payload is
-// also fed through a gzip sizer so the dataset's compressed footprint is
-// measured exactly as in Figure 2.
+// Crawl walks the range in reverse chronological order, retrying transient
+// failures with exponential backoff and honouring rate limits, and delivers
+// every fetched block to sink. It is a thin adapter over Stream kept for
+// callers that want the old callback shape: fetched blocks flow through the
+// bounded stream and a pool of cfg.Ingest consumer goroutines (default:
+// cfg.Workers) invokes sink, so sink stalls exert backpressure on the fetch
+// side instead of blocking crawl workers directly. With one worker delivery
+// is exactly newest-first.
 func Crawl(ctx context.Context, f BlockFetcher, cfg CrawlConfig, sink Sink) (CrawlResult, error) {
-	start := time.Now()
-	if cfg.Workers <= 0 {
-		cfg.Workers = 4
+	consumers := cfg.Ingest
+	if consumers <= 0 {
+		consumers = cfg.Workers
 	}
-	if cfg.MaxRetries <= 0 {
-		cfg.MaxRetries = 5
-	}
-	if cfg.Backoff <= 0 {
-		cfg.Backoff = 10 * time.Millisecond
-	}
-	if cfg.To == 0 {
-		head, err := resolveHead(ctx, f, cfg)
-		if err != nil {
-			return CrawlResult{}, fmt.Errorf("collect: resolving head: %w", err)
-		}
-		cfg.To = head
-	}
-	if cfg.From <= 0 {
-		cfg.From = 1
-	}
-	if cfg.From > cfg.To {
-		return CrawlResult{}, fmt.Errorf("collect: empty range [%d, %d]", cfg.From, cfg.To)
+	if consumers <= 0 {
+		consumers = 4
 	}
 
-	sizer := stats.NewGzipSizer()
-	var res CrawlResult
+	blocks, handle := Stream(ctx, f, cfg)
 	var wg sync.WaitGroup
-	var firstErr atomic.Value
-
-	// Reverse chronological order, sharded by stride: worker k owns
-	// To-k, To-k-Workers, … down to From.
-	stride := int64(cfg.Workers)
-	for w := 0; w < cfg.Workers; w++ {
+	var sinkErr atomic.Value
+	for i := 0; i < consumers; i++ {
 		wg.Add(1)
-		go func(offset int64) {
+		go func() {
 			defer wg.Done()
-			for num := cfg.To - offset; num >= cfg.From; num -= stride {
-				if ctx.Err() != nil {
-					return
-				}
-				raw, err := fetchWithRetry(ctx, f, num, cfg, &res.Retries)
-				if err != nil {
-					atomic.AddInt64(&res.Failed, 1)
-					firstErr.CompareAndSwap(nil, err)
-					continue
-				}
-				atomic.AddInt64(&res.Blocks, 1)
-				atomic.AddInt64(&res.RawBytes, int64(len(raw)))
-				sizer.Write(raw)
-				if err := sink(num, raw); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+			for blk := range blocks {
+				if err := sink(blk.Num, blk.Raw); err != nil {
+					sinkErr.CompareAndSwap(nil, err)
 				}
 			}
-		}(int64(w))
+		}()
 	}
 	wg.Wait()
-
-	res.GzipBytes = sizer.CompressedBytes()
-	res.Elapsed = time.Since(start)
-	if err, ok := firstErr.Load().(error); ok && err != nil {
-		return res, err
+	res, err := handle.Wait()
+	if serr, ok := sinkErr.Load().(error); ok && serr != nil {
+		return res, serr
 	}
-	if ctx.Err() != nil {
-		return res, ctx.Err()
-	}
-	return res, nil
+	return res, err
 }
 
 // resolveHead retries the head request with backoff: probe bursts may have

@@ -131,13 +131,32 @@ func eosBlockTime(s string) (time.Time, error) {
 // IngestBlock folds one crawled block into the aggregate. Safe for
 // concurrent use by crawl workers.
 func (a *EOSAggregator) IngestBlock(b *rpcserve.EOSBlockJSON) error {
-	ts, err := eosBlockTime(b.Timestamp)
-	if err != nil {
-		return err
+	return a.IngestBlocks([]*rpcserve.EOSBlockJSON{b})
+}
+
+// IngestBlocks folds a batch of blocks under a single lock acquisition,
+// amortizing mutex contention when many decode workers feed one aggregator.
+// Timestamps are parsed before the lock is taken; a malformed block fails
+// the whole batch without ingesting any of it.
+func (a *EOSAggregator) IngestBlocks(bs []*rpcserve.EOSBlockJSON) error {
+	times := make([]time.Time, len(bs))
+	for i, b := range bs {
+		ts, err := eosBlockTime(b.Timestamp)
+		if err != nil {
+			return err
+		}
+		times[i] = ts
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	for i, b := range bs {
+		a.ingestLocked(b, times[i])
+	}
+	return nil
+}
 
+// ingestLocked folds one block; callers hold a.mu.
+func (a *EOSAggregator) ingestLocked(b *rpcserve.EOSBlockJSON, ts time.Time) {
 	a.Blocks++
 	if a.FirstBlockTime.IsZero() || ts.Before(a.FirstBlockTime) {
 		a.FirstBlockTime = ts
@@ -203,7 +222,6 @@ func (a *EOSAggregator) IngestBlock(b *rpcserve.EOSBlockJSON) error {
 			a.boomerangs++
 		}
 	}
-	return nil
 }
 
 type transferLeg struct{ From, To, Quantity string }

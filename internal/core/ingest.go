@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/collect"
+	"repro/internal/rpcserve"
+)
+
+// Ingestor consumes raw crawled payloads chain-agnostically: one method,
+// whatever the chain. Its signature matches collect.Sink, so an Ingestor's
+// IngestRaw plugs directly into the callback-style collect.Crawl as well.
+type Ingestor interface {
+	IngestRaw(num int64, raw []byte) error
+}
+
+// Decoder splits ingestion into its two costs so they can be scheduled
+// separately: Decode is the CPU-bound, lock-free parse of one wire payload,
+// and IngestBatch folds a batch of decoded blocks into the aggregator under
+// a single lock acquisition. Implementations exist per chain (EOSDecoder,
+// TezosDecoder, XRPDecoder); Decode must be safe for concurrent use.
+type Decoder interface {
+	Decode(num int64, raw []byte) (any, error)
+	IngestBatch(batch []any) error
+}
+
+// NewIngestor adapts a Decoder into an Ingestor that decodes and applies
+// each payload immediately (batch of one). Use IngestStream instead when a
+// block stream is available — it batches.
+func NewIngestor(d Decoder) Ingestor { return decoderIngestor{d} }
+
+type decoderIngestor struct{ d Decoder }
+
+func (i decoderIngestor) IngestRaw(num int64, raw []byte) error {
+	blk, err := i.d.Decode(num, raw)
+	if err != nil {
+		return err
+	}
+	return i.d.IngestBatch([]any{blk})
+}
+
+// EOSDecoder drives an EOSAggregator from raw nodeos-style block JSON.
+type EOSDecoder struct{ Agg *EOSAggregator }
+
+// Decode parses one raw EOS block.
+func (d EOSDecoder) Decode(num int64, raw []byte) (any, error) {
+	return collect.DecodeEOSBlock(raw)
+}
+
+// IngestBatch folds decoded blocks into the aggregator, one lock for the
+// whole batch.
+func (d EOSDecoder) IngestBatch(batch []any) error {
+	blocks := make([]*rpcserve.EOSBlockJSON, len(batch))
+	for i, b := range batch {
+		blocks[i] = b.(*rpcserve.EOSBlockJSON)
+	}
+	return d.Agg.IngestBlocks(blocks)
+}
+
+// TezosDecoder drives a TezosAggregator from raw octez-style block JSON.
+type TezosDecoder struct{ Agg *TezosAggregator }
+
+// Decode parses one raw Tezos block.
+func (d TezosDecoder) Decode(num int64, raw []byte) (any, error) {
+	return collect.DecodeTezosBlock(raw)
+}
+
+// IngestBatch folds decoded blocks into the aggregator, one lock for the
+// whole batch.
+func (d TezosDecoder) IngestBatch(batch []any) error {
+	blocks := make([]*rpcserve.TezosBlockJSON, len(batch))
+	for i, b := range batch {
+		blocks[i] = b.(*rpcserve.TezosBlockJSON)
+	}
+	return d.Agg.IngestBlocks(blocks)
+}
+
+// XRPDecoder drives an XRPAggregator from raw rippled ledger envelopes.
+type XRPDecoder struct{ Agg *XRPAggregator }
+
+// Decode parses one raw ledger result envelope.
+func (d XRPDecoder) Decode(num int64, raw []byte) (any, error) {
+	return collect.DecodeXRPLedger(raw)
+}
+
+// IngestBatch folds decoded ledgers into the aggregator, one lock for the
+// whole batch.
+func (d XRPDecoder) IngestBatch(batch []any) error {
+	ledgers := make([]*rpcserve.XRPLedgerJSON, len(batch))
+	for i, l := range batch {
+		ledgers[i] = l.(*rpcserve.XRPLedgerJSON)
+	}
+	return d.Agg.IngestLedgers(ledgers)
+}
+
+// IngestConfig sizes the decode/ingest pool behind IngestStream.
+type IngestConfig struct {
+	// Workers is the number of decode goroutines (default 2). Decoding is
+	// the CPU-bound half of ingestion; it runs off the crawl workers so
+	// fetch concurrency and decode concurrency scale independently.
+	Workers int
+	// Batch is how many decoded blocks each worker accumulates before one
+	// IngestBatch call — blocks per aggregator lock acquisition
+	// (default 16).
+	Batch int
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	return c
+}
+
+// IngestStream drains a crawl stream through a pool of cfg.Workers decode
+// goroutines, each folding its blocks into the aggregator in batches of
+// cfg.Batch per lock acquisition. It returns the number of blocks ingested
+// and the first decode/ingest error.
+//
+// Cancellation is driven by the stream itself: when ctx is cancelled the
+// crawl workers stop and close the channel, and IngestStream deliberately
+// keeps draining until then — a block already handed to the stream counts
+// as delivered for checkpointing, so it must be folded in before returning
+// or a resumed crawl would skip it without it ever being aggregated. On a
+// decode/ingest error, by contrast, the pool stops receiving immediately;
+// the caller must then cancel the stream's context to unblock crawl
+// workers behind a full buffer, and must not persist a checkpoint taken
+// after the error (the pipeline's stage helper and cmd/crawl do both).
+func IngestStream(ctx context.Context, blocks <-chan collect.Block, d Decoder, cfg IngestConfig) (int64, error) {
+	cfg = cfg.withDefaults()
+	var (
+		ingested int64
+		wg       sync.WaitGroup
+		firstErr atomic.Value
+		failed   atomic.Bool
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]any, 0, cfg.Batch)
+			flush := func() error {
+				if len(batch) == 0 {
+					return nil
+				}
+				if err := d.IngestBatch(batch); err != nil {
+					return err
+				}
+				atomic.AddInt64(&ingested, int64(len(batch)))
+				batch = batch[:0]
+				return nil
+			}
+			for blk := range blocks {
+				if failed.Load() {
+					return
+				}
+				dec, err := d.Decode(blk.Num, blk.Raw)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("core: decoding block %d: %w", blk.Num, err))
+					failed.Store(true)
+					return
+				}
+				batch = append(batch, dec)
+				if len(batch) >= cfg.Batch {
+					if err := flush(); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						failed.Store(true)
+						return
+					}
+				}
+			}
+			if err := flush(); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				failed.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return atomic.LoadInt64(&ingested), err
+	}
+	return atomic.LoadInt64(&ingested), nil
+}
+
+// ErrIngest marks errors that came from the decode/ingest side of
+// IngestCrawl rather than the crawl itself. Callers that persist
+// checkpoints must not do so when errors.Is(err, ErrIngest): the stream
+// marked those blocks delivered, but they were never folded into the
+// aggregate, so a resume would skip them forever.
+var ErrIngest = errors.New("core: ingest failed")
+
+// IngestCrawl is the one canonical wiring of the streaming path: it starts
+// collect.Stream, drains it through IngestStream, and handles the
+// cancel-on-ingest-error dance that unblocks crawl workers stalled on a
+// full buffer. The pipeline stages, cmd/crawl and cmd/chainsim's
+// self-check all run on it. The returned handle is valid after return for
+// checkpointing (drained — IngestCrawl consumed the whole stream).
+func IngestCrawl(ctx context.Context, f collect.BlockFetcher, ccfg collect.CrawlConfig, d Decoder, icfg IngestConfig) (collect.CrawlResult, *collect.CrawlHandle, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	blocks, handle := collect.Stream(ctx, f, ccfg)
+	_, ierr := IngestStream(ctx, blocks, d, icfg)
+	if ierr != nil {
+		cancel() // unblock crawl workers stalled on a full buffer
+	}
+	res, cerr := handle.Wait()
+	if ierr != nil {
+		return res, handle, fmt.Errorf("%w: %w", ErrIngest, ierr)
+	}
+	return res, handle, cerr
+}

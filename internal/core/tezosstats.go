@@ -54,12 +54,31 @@ func NewTezosAggregator(origin time.Time, bucket time.Duration) *TezosAggregator
 // IngestBlock folds one crawled block into the aggregate. Safe for
 // concurrent use.
 func (a *TezosAggregator) IngestBlock(b *rpcserve.TezosBlockJSON) error {
-	ts, err := time.Parse(time.RFC3339, b.Timestamp)
-	if err != nil {
-		return err
+	return a.IngestBlocks([]*rpcserve.TezosBlockJSON{b})
+}
+
+// IngestBlocks folds a batch of blocks under a single lock acquisition.
+// Timestamps are parsed before the lock is taken; a malformed block fails
+// the whole batch without ingesting any of it.
+func (a *TezosAggregator) IngestBlocks(bs []*rpcserve.TezosBlockJSON) error {
+	times := make([]time.Time, len(bs))
+	for i, b := range bs {
+		ts, err := time.Parse(time.RFC3339, b.Timestamp)
+		if err != nil {
+			return err
+		}
+		times[i] = ts
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	for i, b := range bs {
+		a.ingestLocked(b, times[i])
+	}
+	return nil
+}
+
+// ingestLocked folds one block; callers hold a.mu.
+func (a *TezosAggregator) ingestLocked(b *rpcserve.TezosBlockJSON, ts time.Time) {
 	a.Blocks++
 	if a.FirstBlockTime.IsZero() || ts.Before(a.FirstBlockTime) {
 		a.FirstBlockTime = ts
@@ -87,7 +106,6 @@ func (a *TezosAggregator) IngestBlock(b *rpcserve.TezosBlockJSON) error {
 			})
 		}
 	}
-	return nil
 }
 
 func tezosSeriesLabel(kind string) string {

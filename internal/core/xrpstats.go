@@ -87,12 +87,31 @@ func NewXRPAggregator(origin time.Time, bucket time.Duration) *XRPAggregator {
 // IngestLedger folds one crawled ledger into the aggregate. Safe for
 // concurrent use.
 func (a *XRPAggregator) IngestLedger(l *rpcserve.XRPLedgerJSON) error {
-	ts, err := time.Parse(time.RFC3339, l.CloseTime)
-	if err != nil {
-		return err
+	return a.IngestLedgers([]*rpcserve.XRPLedgerJSON{l})
+}
+
+// IngestLedgers folds a batch of ledgers under a single lock acquisition.
+// Close times are parsed before the lock is taken; a malformed ledger fails
+// the whole batch without ingesting any of it.
+func (a *XRPAggregator) IngestLedgers(ls []*rpcserve.XRPLedgerJSON) error {
+	times := make([]time.Time, len(ls))
+	for i, l := range ls {
+		ts, err := time.Parse(time.RFC3339, l.CloseTime)
+		if err != nil {
+			return err
+		}
+		times[i] = ts
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	for i, l := range ls {
+		a.ingestLocked(l, times[i])
+	}
+	return nil
+}
+
+// ingestLocked folds one ledger; callers hold a.mu.
+func (a *XRPAggregator) ingestLocked(l *rpcserve.XRPLedgerJSON, ts time.Time) {
 	a.Ledgers++
 	if a.FirstLedgerTime.IsZero() || ts.Before(a.FirstLedgerTime) {
 		a.FirstLedgerTime = ts
@@ -149,7 +168,6 @@ func (a *XRPAggregator) IngestLedger(l *rpcserve.XRPLedgerJSON) error {
 			}
 		}
 	}
-	return nil
 }
 
 func xrpSeriesLabel(txType string) string {

@@ -49,6 +49,21 @@ type Options struct {
 	// Workers sizes the crawl worker pool shared by every stage: it bounds
 	// in-flight block fetches across all concurrent crawls.
 	Workers int
+	// Pool, when set, is the shared fetch pool the stages crawl through;
+	// nil lets Run create one sized by Workers. Expose it when extra
+	// stages built outside Run (e.g. EIDOSStressStage) should share the
+	// same fetch budget instead of bringing their own.
+	Pool *collect.Pool
+	// Buffer is each stage's stream channel capacity: how many fetched
+	// blocks may sit between crawl workers and the decode pool before the
+	// fetch side blocks (backpressure).
+	Buffer int
+	// IngestWorkers sizes each stage's decode/ingest pool — decoding runs
+	// off the crawl workers.
+	IngestWorkers int
+	// Batch is how many decoded blocks each ingest worker folds into its
+	// aggregator per lock acquisition.
+	Batch int
 	// StageWorkers bounds how many stages run concurrently. Zero means
 	// every ready stage runs in parallel; 1 reproduces the old sequential
 	// pipeline.
@@ -75,14 +90,17 @@ type Options struct {
 // DefaultOptions returns bench-friendly scales.
 func DefaultOptions() Options {
 	return Options{
-		EOS:          StageOptions{Scale: 50_000, Seed: 1},
-		Tezos:        StageOptions{Scale: 800, Seed: 1},
-		XRP:          StageOptions{Scale: 20_000, Seed: 1},
-		Gov:          StageOptions{Scale: 400, Seed: 1},
-		Workers:      4,
-		Bucket:       6 * time.Hour,
-		EOSEndpoints: 8,
-		EOSShortlist: 3,
+		EOS:           StageOptions{Scale: 50_000, Seed: 1},
+		Tezos:         StageOptions{Scale: 800, Seed: 1},
+		XRP:           StageOptions{Scale: 20_000, Seed: 1},
+		Gov:           StageOptions{Scale: 400, Seed: 1},
+		Workers:       4,
+		Buffer:        64,
+		IngestWorkers: 2,
+		Batch:         16,
+		Bucket:        6 * time.Hour,
+		EOSEndpoints:  8,
+		EOSShortlist:  3,
 	}
 }
 
@@ -103,6 +121,15 @@ func (o Options) withDefaults() Options {
 	o.Gov = norm(o.Gov, def.Gov)
 	if o.Workers <= 0 {
 		o.Workers = def.Workers
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = def.Buffer
+	}
+	if o.IngestWorkers <= 0 {
+		o.IngestWorkers = def.IngestWorkers
+	}
+	if o.Batch <= 0 {
+		o.Batch = def.Batch
 	}
 	if o.Bucket <= 0 {
 		o.Bucket = def.Bucket
@@ -156,7 +183,10 @@ func (r *Result) ClusterFunc() core.ClusterFunc {
 func Run(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{Opts: opts}
-	pool := collect.NewPool(opts.Workers)
+	pool := opts.Pool
+	if pool == nil {
+		pool = collect.NewPool(opts.Workers)
+	}
 
 	stages := []Stage{
 		{Name: "eos", Run: func(ctx context.Context) (StageStats, error) {
@@ -182,6 +212,21 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// crawlInto runs one stage's collection→measurement path on the streaming
+// API: collect.Stream fetches raw blocks into a bounded channel and
+// core.IngestStream decodes and batch-ingests them off the crawl workers
+// (see core.IngestCrawl for the wiring).
+func crawlInto(ctx context.Context, f collect.BlockFetcher, ccfg collect.CrawlConfig, dec core.Decoder, icfg core.IngestConfig) (collect.CrawlResult, error) {
+	res, _, err := core.IngestCrawl(ctx, f, ccfg, dec, icfg)
+	return res, err
+}
+
+// ingestConfig derives each stage's decode/ingest pool sizing from the
+// pipeline options.
+func (o Options) ingestConfig() core.IngestConfig {
+	return core.IngestConfig{Workers: o.IngestWorkers, Batch: o.Batch}
 }
 
 // serve starts an HTTP server on a loopback port and returns its base URL
@@ -243,15 +288,10 @@ func (r *Result) runEOS(ctx context.Context, opts Options, pool *collect.Pool) (
 	multi := &collect.MultiFetcher{Fetchers: fetchers}
 
 	agg := core.NewEOSAggregator(chain.ObservationStart, opts.Bucket)
-	crawl, err := collect.Crawl(ctx, multi, collect.CrawlConfig{
-		Workers: opts.Workers, Pool: pool, MaxRetries: 8, Backoff: 5 * time.Millisecond,
-	}, func(num int64, raw []byte) error {
-		blk, err := collect.DecodeEOSBlock(raw)
-		if err != nil {
-			return err
-		}
-		return agg.IngestBlock(blk)
-	})
+	crawl, err := crawlInto(ctx, multi, collect.CrawlConfig{
+		Workers: opts.Workers, Pool: pool, Buffer: opts.Buffer,
+		MaxRetries: 8, Backoff: 5 * time.Millisecond,
+	}, core.EOSDecoder{Agg: agg}, opts.ingestConfig())
 	if err != nil {
 		return StageStats{}, err
 	}
@@ -275,15 +315,9 @@ func (r *Result) runTezos(ctx context.Context, opts Options, pool *collect.Pool)
 	defer stop()
 
 	agg := core.NewTezosAggregator(chain.ObservationStart, opts.Bucket)
-	crawl, err := collect.Crawl(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
-		Workers: opts.Workers, Pool: pool,
-	}, func(num int64, raw []byte) error {
-		blk, err := collect.DecodeTezosBlock(raw)
-		if err != nil {
-			return err
-		}
-		return agg.IngestBlock(blk)
-	})
+	crawl, err := crawlInto(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
+		Workers: opts.Workers, Pool: pool, Buffer: opts.Buffer,
+	}, core.TezosDecoder{Agg: agg}, opts.ingestConfig())
 	if err != nil {
 		return StageStats{}, err
 	}
@@ -308,15 +342,9 @@ func (r *Result) runGovernance(ctx context.Context, opts Options, pool *collect.
 
 	// The governance replay starts in July; anchor its series there.
 	agg := core.NewTezosAggregator(time.Date(2019, time.July, 17, 0, 0, 0, 0, time.UTC), 24*time.Hour)
-	crawl, err := collect.Crawl(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
-		Workers: opts.Workers, Pool: pool,
-	}, func(num int64, raw []byte) error {
-		blk, err := collect.DecodeTezosBlock(raw)
-		if err != nil {
-			return err
-		}
-		return agg.IngestBlock(blk)
-	})
+	crawl, err := crawlInto(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
+		Workers: opts.Workers, Pool: pool, Buffer: opts.Buffer,
+	}, core.TezosDecoder{Agg: agg}, opts.ingestConfig())
 	if err != nil {
 		return StageStats{}, err
 	}
@@ -356,20 +384,15 @@ func (r *Result) runXRP(ctx context.Context, opts Options, pool *collect.Pool) (
 	agg := core.NewXRPAggregator(chain.ObservationStart, opts.Bucket)
 	client := collect.NewXRPClient(wsURL)
 	defer client.Close()
-	crawl, err := collect.Crawl(ctx, client, collect.CrawlConfig{
+	crawl, err := crawlInto(ctx, client, collect.CrawlConfig{
 		// The build phase's ledgers stand in for pre-window history
 		// (gateway issuance, trust lines); the paper's window starts at
 		// October 1, so the crawl does too.
 		From:    scenario.SetupLedgers + 1,
 		Workers: 1, // the WebSocket protocol is sequential per connection
 		Pool:    pool,
-	}, func(num int64, raw []byte) error {
-		led, err := collect.DecodeXRPLedger(raw)
-		if err != nil {
-			return err
-		}
-		return agg.IngestLedger(led)
-	})
+		Buffer:  opts.Buffer,
+	}, core.XRPDecoder{Agg: agg}, opts.ingestConfig())
 	if err != nil {
 		return StageStats{}, err
 	}

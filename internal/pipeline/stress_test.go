@@ -1,0 +1,59 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/collect"
+)
+
+// TestPipelineEIDOSStressStage: the fifth scenario registers through
+// Options.ExtraStages, runs on the streaming ingestion API, and surfaces in
+// StageMetrics alongside the built-in stages.
+func TestPipelineEIDOSStressStage(t *testing.T) {
+	opts := DefaultOptions()
+	// Only the stress stage matters here; keep the built-ins coarse and
+	// skip the governance replay.
+	opts.EOS.Scale = 400_000
+	opts.Tezos.Scale = 8_000
+	opts.XRP.Scale = 200_000
+	opts.SkipGovernance = true
+	stressScale := int64(100_000)
+	if testing.Short() {
+		stressScale = 200_000
+	}
+	// Share one fetch pool between the built-ins and the stress stage, as
+	// cmd/report -stress does.
+	opts.Pool = collect.NewPool(opts.Workers)
+	opts.ExtraStages = append(opts.ExtraStages,
+		EIDOSStressStage(StageOptions{Scale: stressScale, Seed: 1}, opts))
+
+	res, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stress *StageMetric
+	for i := range res.StageMetrics {
+		if res.StageMetrics[i].Name == "eidos-stress" {
+			stress = &res.StageMetrics[i]
+		}
+	}
+	if stress == nil {
+		t.Fatalf("eidos-stress missing from StageMetrics: %+v", res.StageMetrics)
+	}
+	if stress.Skipped {
+		t.Fatal("eidos-stress was skipped")
+	}
+	if stress.Blocks == 0 || stress.Transactions == 0 {
+		t.Fatalf("eidos-stress processed nothing: %+v", *stress)
+	}
+	if stress.TPS <= 0 {
+		t.Fatalf("eidos-stress TPS = %f", stress.TPS)
+	}
+	// The stage renders in the same report table as the built-ins.
+	if table := StageTimings(res); !strings.Contains(table, "eidos-stress") {
+		t.Fatalf("StageTimings omits the stress stage:\n%s", table)
+	}
+}
