@@ -11,11 +11,18 @@
 // the next invocation with the same flag skips every block already
 // delivered.
 //
+// With -archive the crawl is durable as well: every raw block is teed
+// into a segmented on-disk archive (see internal/archive) while it is
+// ingested, and cmd/report -replay can later regenerate the figures from
+// that directory with zero network calls. A completed crawl prints a
+// deterministic "figures" section that a replay over the same archive
+// reproduces byte-for-byte — the CI archive job diffs the two.
+//
 // Usage:
 //
-//	crawl -chain eos   -endpoint http://127.0.0.1:PORT [-checkpoint FILE]
-//	crawl -chain tezos -endpoint http://127.0.0.1:PORT [-checkpoint FILE]
-//	crawl -chain xrp   -endpoint ws://127.0.0.1:PORT   [-checkpoint FILE]
+//	crawl -chain eos   -endpoint http://127.0.0.1:PORT [-checkpoint FILE] [-archive DIR]
+//	crawl -chain tezos -endpoint http://127.0.0.1:PORT [-checkpoint FILE] [-archive DIR]
+//	crawl -chain xrp   -endpoint ws://127.0.0.1:PORT   [-checkpoint FILE] [-archive DIR]
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/chain"
 	"repro/internal/collect"
 	"repro/internal/core"
@@ -38,6 +46,7 @@ type crawlOpts struct {
 	chain      string
 	endpoint   string
 	checkpoint string
+	archive    string
 	workers    int
 	ingest     int
 	batch      int
@@ -50,6 +59,7 @@ func main() {
 	flag.StringVar(&o.chain, "chain", "", "eos, tezos or xrp")
 	flag.StringVar(&o.endpoint, "endpoint", "", "endpoint URL")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: resume from it if present, write it on exit")
+	flag.StringVar(&o.archive, "archive", "", "archive directory: tee every raw block into it for offline replay (cmd/report -replay)")
 	flag.IntVar(&o.workers, "workers", 4, "concurrent fetchers (xrp uses 1)")
 	flag.IntVar(&o.ingest, "ingest", 2, "decode/ingest workers")
 	flag.IntVar(&o.batch, "batch", 16, "blocks per aggregator lock acquisition")
@@ -76,35 +86,34 @@ func main() {
 // run executes one crawl. It is the whole command behind flag parsing and
 // signal wiring so tests can drive interruption and resume deterministically.
 func run(ctx context.Context, o crawlOpts, out io.Writer) error {
+	kit, err := core.NewStatsKit(o.chain, chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		return fmt.Errorf("unknown chain %q", o.chain)
+	}
 	var fetcher collect.BlockFetcher
-	var dec core.Decoder
-	var txs func() int64
 	switch o.chain {
 	case "eos":
 		fetcher = collect.NewEOSClient(o.endpoint)
-		agg := core.NewEOSAggregator(chain.ObservationStart, 6*time.Hour)
-		dec = core.EOSDecoder{Agg: agg}
-		txs = func() int64 { return agg.Transactions }
 	case "tezos":
 		fetcher = collect.NewTezosClient(o.endpoint)
-		agg := core.NewTezosAggregator(chain.ObservationStart, 6*time.Hour)
-		dec = core.TezosDecoder{Agg: agg}
-		txs = func() int64 { return agg.Operations }
 	case "xrp":
 		client := collect.NewXRPClient(o.endpoint)
 		defer client.Close()
 		fetcher = client
 		o.workers = 1 // the WebSocket protocol is sequential per connection
-		agg := core.NewXRPAggregator(chain.ObservationStart, 6*time.Hour)
-		dec = core.XRPDecoder{Agg: agg}
-		txs = func() int64 { return agg.Transactions }
-	default:
-		return fmt.Errorf("unknown chain %q", o.chain)
 	}
 
 	cfg := collect.CrawlConfig{
 		From: o.from, To: o.to,
 		Workers: o.workers, Buffer: o.buffer,
+	}
+	var sink *archive.Writer
+	if o.archive != "" {
+		sink, err = archive.NewWriter(archive.WriterConfig{Dir: o.archive, Chain: o.chain})
+		if err != nil {
+			return err
+		}
+		cfg.Tee = sink.Append
 	}
 	if o.checkpoint != "" {
 		cp, err := collect.LoadCheckpoint(o.checkpoint)
@@ -120,12 +129,27 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 		}
 	}
 
-	res, handle, err := core.IngestCrawl(ctx, fetcher, cfg, dec, core.IngestConfig{Workers: o.ingest, Batch: o.batch})
-	interrupted := errors.Is(err, context.Canceled) && !errors.Is(err, core.ErrIngest)
+	res, handle, err := core.IngestCrawl(ctx, fetcher, cfg, kit.Decoder, core.IngestConfig{Workers: o.ingest, Batch: o.batch})
+	// The stream is fully drained, so no Append can still be in flight;
+	// finalize the archive before reporting anything. Interrupted and
+	// failed crawls finalize too — everything teed so far is intact and a
+	// rerun with the same -archive extends it. A finalization failure
+	// joins any crawl error (both must surface) and, like a tee error,
+	// vetoes the checkpoint below: blocks in the segment that failed to
+	// finalize were delivered and marked done, and checkpointing them
+	// would leave the archive short of them forever.
+	var archiveErr error
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil {
+			archiveErr = fmt.Errorf("finalizing archive: %w", cerr)
+			err = errors.Join(err, archiveErr)
+		}
+	}
+	interrupted := errors.Is(err, context.Canceled) && !errors.Is(err, core.ErrIngest) && archiveErr == nil
 	fmt.Fprintf(out, "chain:       %s\n", o.chain)
 	fmt.Fprintf(out, "blocks:      %d (failed %d, retries %d)\n", res.Blocks, res.Failed, res.Retries)
 	fmt.Fprintf(out, "skipped:     %d (already in checkpoint)\n", res.Skipped)
-	fmt.Fprintf(out, "txs/ops:     %d\n", txs())
+	fmt.Fprintf(out, "txs/ops:     %d\n", kit.Txs())
 	fmt.Fprintf(out, "raw bytes:   %d\n", res.RawBytes)
 	if res.RawBytes > 0 {
 		fmt.Fprintf(out, "gzip bytes:  %d (%.1f%% of raw)\n", res.GzipBytes, 100*float64(res.GzipBytes)/float64(res.RawBytes))
@@ -133,14 +157,20 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		fmt.Fprintf(out, "elapsed:     %v (%.0f blocks/s)\n", res.Elapsed, float64(res.Blocks)/secs)
 	}
+	if sink != nil {
+		fmt.Fprintf(out, "archive:     %s (%d blocks teed, %d segments)\n", o.archive, sink.Blocks(), sink.Segments())
+	}
 
 	// Persist progress — but never over an ingest error (blocks the stream
 	// delivered but the pool failed to fold in would be recorded as done
-	// and skipped forever on resume), and never before the crawl resolved
-	// its range (cp.To == 0: an all-zero checkpoint would fail validation
-	// on every later run and brick the file).
+	// and skipped forever on resume), never over a tee error (delivered
+	// blocks may share a discarded archive segment with the failed write,
+	// so a resume would skip blocks the archive never kept), and never
+	// before the crawl resolved its range (cp.To == 0: an all-zero
+	// checkpoint would fail validation on every later run and brick the
+	// file).
 	saved := false
-	if o.checkpoint != "" && !errors.Is(err, core.ErrIngest) {
+	if o.checkpoint != "" && !errors.Is(err, core.ErrIngest) && !errors.Is(err, collect.ErrTee) && archiveErr == nil {
 		if cp := handle.Checkpoint(); cp.To > 0 {
 			if serr := cp.Save(o.checkpoint); serr != nil {
 				return fmt.Errorf("saving checkpoint: %w", serr)
@@ -157,6 +187,12 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 		}
 		fmt.Fprintln(out, "interrupted — rerun with the same -checkpoint to resume")
 		return nil
+	}
+	if err == nil {
+		// The deterministic figures section: derived only from the set of
+		// blocks this run ingested, so an offline replay of the same
+		// archive (cmd/report -replay) reproduces it byte-for-byte.
+		fmt.Fprint(out, kit.Summarize().Render())
 	}
 	return err
 }

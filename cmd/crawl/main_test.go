@@ -13,9 +13,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/archive"
 	"repro/internal/chain"
 	"repro/internal/collect"
+	"repro/internal/core"
 	"repro/internal/eos"
 	"repro/internal/rpcserve"
 )
@@ -216,6 +219,103 @@ func TestCrawlFailedBeforeRangeWritesNoCheckpoint(t *testing.T) {
 	}
 	if cp, err := collect.LoadCheckpoint(ckpt); err != nil || cp.Remaining() != 0 {
 		t.Fatalf("healthy run checkpoint: %+v, %v", cp, err)
+	}
+}
+
+// TestCrawlArchiveReplayDeterminism: a crawl with -archive leaves a
+// replayable archive whose offline replay renders the exact figures
+// section the live crawl printed — the property the CI archive job diffs
+// end to end with cmd/report -replay.
+func TestCrawlArchiveReplayDeterminism(t *testing.T) {
+	const total = 30
+	s := newCountingEOSServer(t, total)
+	arch := filepath.Join(t.TempDir(), "eos")
+	var out bytes.Buffer
+	err := run(context.Background(), crawlOpts{
+		chain: "eos", endpoint: s.srv.URL, archive: arch,
+		workers: 2, ingest: 2, batch: 4, buffer: 8, from: 1,
+	}, &out)
+	if err != nil {
+		t.Fatalf("archived crawl failed: %v\n%s", err, out.String())
+	}
+	idx := strings.Index(out.String(), "--- eos figures ---")
+	if idx < 0 {
+		t.Fatalf("live crawl printed no figures section:\n%s", out.String())
+	}
+	liveFigures := out.String()[idx:]
+
+	// Replay from disk only: the server is never touched again.
+	rd, err := archive.Open(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Covers(1, total) {
+		t.Fatalf("archive covers [%d, %d] of %d blocks", rd.From(), rd.To(), rd.Blocks())
+	}
+	s.reset()
+	kit, err := core.NewStatsKit("eos", chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.IngestCrawl(context.Background(), rd, collect.CrawlConfig{
+		From: 1, To: total, Workers: 2,
+	}, kit.Decoder, core.IngestConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if replayFigures := kit.Summarize().Render(); replayFigures != liveFigures {
+		t.Fatalf("replayed figures differ from live crawl:\n--- live ---\n%s\n--- replay ---\n%s", liveFigures, replayFigures)
+	}
+	if nums := s.fetchedNums(); len(nums) != 0 {
+		t.Fatalf("replay hit the network for blocks %v", nums)
+	}
+}
+
+// TestCrawlArchiveInterruptResume: an interrupted archived crawl keeps a
+// consistent (un-torn) archive, and the resumed run extends it to full
+// coverage — re-teed boundary blocks dedupe on replay.
+func TestCrawlArchiveInterruptResume(t *testing.T) {
+	const total = 40
+	s := newCountingEOSServer(t, total)
+	dir := t.TempDir()
+	arch := filepath.Join(dir, "eos-archive")
+	opts := crawlOpts{
+		chain: "eos", endpoint: s.srv.URL,
+		checkpoint: filepath.Join(dir, "eos.ckpt"), archive: arch,
+		workers: 2, ingest: 2, batch: 4, buffer: 8, from: 1,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.mu.Lock()
+	s.limit, s.interrupt = 15, cancel
+	s.mu.Unlock()
+	var out1 bytes.Buffer
+	if err := run(ctx, opts, &out1); err != nil {
+		t.Fatalf("interrupted run: %v\n%s", err, out1.String())
+	}
+
+	// The interrupted archive must open cleanly — whatever was finalized
+	// is intact, nothing is torn.
+	rd1, err := archive.Open(arch)
+	if err != nil {
+		t.Fatalf("interrupted archive is unreadable: %v", err)
+	}
+	if rd1.Blocks() == 0 {
+		t.Fatal("interrupted archive holds nothing although blocks were delivered")
+	}
+
+	s.reset()
+	var out2 bytes.Buffer
+	if err := run(context.Background(), opts, &out2); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out2.String())
+	}
+	rd2, err := archive.Open(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd2.Covers(1, total) {
+		t.Fatalf("resumed archive covers [%d, %d] with %d blocks, want all of [1, %d]",
+			rd2.From(), rd2.To(), rd2.Blocks(), total)
 	}
 }
 

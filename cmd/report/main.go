@@ -5,20 +5,40 @@
 // Usage:
 //
 //	report [-eos-scale N] [-tezos-scale N] [-xrp-scale N] [-gov-scale N]
-//	       [-seed N] [-workers N] [-figure name]
+//	       [-seed N] [-workers N] [-figure name] [-archive DIR]
+//	report -replay DIR
 //
 // Smaller scales simulate more traffic and converge closer to the paper's
 // percentages; the defaults finish in a few seconds.
+//
+// With -archive DIR every stage tees its raw block stream into per-stage
+// archives under DIR, and a rerun with the same flag replays from them
+// instead of crawling (see pipeline.Options.ArchiveDir).
+//
+// With -replay DIR the pipeline does not run at all: the command opens the
+// archive (or each per-chain archive directly under DIR, as cmd/crawl
+// -archive and pipeline ArchiveDir write them), streams the raw blocks
+// through the same ingestion path a live crawl uses, and prints each
+// chain's deterministic figures section — offline, with zero fetcher
+// network calls. The sections are byte-identical to what the live crawl
+// printed, which the CI archive job verifies by diffing the two.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/archive"
+	"repro/internal/chain"
 	"repro/internal/collect"
+	"repro/internal/core"
 	"repro/internal/pipeline"
 )
 
@@ -34,7 +54,16 @@ func main() {
 	figure := flag.String("figure", "all", "figure to print: all, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, tps, cases, endpoints, stages")
 	stress := flag.Bool("stress", false, "add the eidos-stress stage: the EOS workload at a hotter arrival rate, reported in the stage timings")
 	stressScale := flag.Int64("stress-scale", 0, "eidos-stress scale divisor (0 = quarter of the EOS default)")
+	flag.StringVar(&opts.ArchiveDir, "archive", "", "archive directory: stages tee raw blocks into it, and replay from it when it already covers their ranges")
+	replay := flag.String("replay", "", "replay archives under this directory offline (no pipeline, no network) and print their figures")
 	flag.Parse()
+	if *replay != "" {
+		if err := replayArchives(context.Background(), *replay, opts.Workers, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	opts.EOS.Seed, opts.Tezos.Seed, opts.XRP.Seed, opts.Gov.Seed = *seed, *seed, *seed, *seed
 	if *stress {
 		// One shared fetch pool keeps the stress stage inside the same
@@ -87,4 +116,84 @@ func main() {
 		fmt.Fprintf(os.Stderr, "report: unknown figure %q\n", *figure)
 		os.Exit(2)
 	}
+}
+
+// replayArchives regenerates figures offline from archived raw blocks. dir
+// is either one chain's archive (it holds manifest.json directly) or a
+// parent whose immediate subdirectories are archives, the layout cmd/crawl
+// -archive and the pipeline's ArchiveDir produce. Every archive streams
+// through collect.Stream + core.IngestStream — the full live ingestion
+// path — with the archive Reader standing in for the network client.
+func replayArchives(ctx context.Context, dir string, workers int, out io.Writer) error {
+	dirs, err := discoverArchives(dir)
+	if err != nil {
+		return err
+	}
+	for _, adir := range dirs {
+		rd, err := archive.Open(adir)
+		if err != nil {
+			return err
+		}
+		// The summary anchors every chain's series at the paper's
+		// observation window, exactly as cmd/crawl does live — the two
+		// sides of the determinism diff must agree. Blocks before the
+		// window (e.g. a pipeline governance archive, July 2019) clamp
+		// into bucket 0, so such an archive replays correctly but its
+		// bucket percentiles describe one big pre-window bucket.
+		kit, err := core.NewStatsKit(rd.Chain(), chain.ObservationStart, 6*time.Hour)
+		if err != nil {
+			return fmt.Errorf("archive %s: %w", adir, err)
+		}
+		if rd.Blocks() == 0 {
+			fmt.Fprintf(os.Stderr, "replay %s: archive %s is empty\n", kit.Chain, adir)
+			continue
+		}
+		// Fail fast on gaps: an interrupted crawl that was never resumed
+		// left holes, and replaying around them would retry each missing
+		// block pointlessly before dying on an arbitrary one.
+		if !rd.Covers(rd.From(), rd.To()) {
+			return fmt.Errorf("archive %s is incomplete: %d blocks in [%d, %d] — resume the crawl that wrote it (same -archive and -checkpoint flags)",
+				adir, rd.Blocks(), rd.From(), rd.To())
+		}
+		res, _, err := core.IngestCrawl(ctx, rd, collect.CrawlConfig{
+			From: rd.From(), To: rd.To(), Workers: workers,
+			MaxRetries: 1, // a local read that failed once will not heal
+		}, kit.Decoder, core.IngestConfig{})
+		if err != nil {
+			return fmt.Errorf("replaying %s: %w", adir, err)
+		}
+		// Progress goes to stderr: stdout carries only the deterministic
+		// figures sections, so it can be diffed against a live crawl's.
+		fmt.Fprintf(os.Stderr, "replay %s: %d blocks from %s (%d segments)\n",
+			kit.Chain, res.Blocks, adir, rd.Segments())
+		fmt.Fprint(out, kit.Summarize().Render())
+	}
+	return nil
+}
+
+// discoverArchives resolves dir to the archive directories under it, in
+// sorted order for deterministic output.
+func discoverArchives(dir string) ([]string, error) {
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+		return []string{dir}, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(sub, "manifest.json")); err == nil {
+			dirs = append(dirs, sub)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no archives under %s (no manifest.json in it or its subdirectories)", dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
 }

@@ -1,0 +1,77 @@
+package archive
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkArchiveWrite measures the tee-side cost per archived block:
+// what a live crawl pays to make its stream durable.
+func BenchmarkArchiveWrite(b *testing.B) {
+	raw := payloadN(1, 4096)
+	dir := b.TempDir()
+	w, err := NewWriter(WriterConfig{Dir: dir, Chain: "eos"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(int64(i+1), raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkArchiveReplay measures the fetch side: open + full replay of a
+// thousand-block archive, the path cmd/report -replay runs per chain.
+func BenchmarkArchiveReplay(b *testing.B) {
+	const blocks = 1000
+	dir := b.TempDir()
+	w, err := NewWriter(WriterConfig{Dir: dir, Chain: "eos", SegmentBlocks: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytes int64
+	for num := int64(blocks); num >= 1; num-- {
+		raw := payloadN(num, 2048)
+		bytes += int64(len(raw))
+		if err := w.Append(num, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for num := int64(blocks); num >= 1; num-- {
+			if _, err := r.FetchBlock(context.Background(), num); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// payloadN fabricates a raw block body of roughly n bytes.
+func payloadN(num int64, n int) []byte {
+	body := make([]byte, n)
+	copy(body, fmt.Sprintf(`{"block_num":%d,"body":"`, num))
+	for i := range body {
+		if body[i] == 0 {
+			body[i] = byte('a' + (num+int64(i))%23)
+		}
+	}
+	body[n-2], body[n-1] = '"', '}'
+	return body
+}

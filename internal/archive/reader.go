@@ -1,0 +1,263 @@
+package archive
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// recordRef locates one block's payload inside a segment's uncompressed
+// stream.
+type recordRef struct {
+	seg int // index into manifest.Segments
+	off int64
+	n   int32
+}
+
+// Reader replays an archived crawl. It implements the collect.BlockFetcher
+// contract (Head + FetchBlock), so collect.Stream and core.IngestCrawl
+// drive it exactly like a live endpoint — except every fetch is a local
+// read. Open verifies the whole archive up front; FetchBlock is safe for
+// concurrent use (stream workers fetch in parallel).
+type Reader struct {
+	dir   string
+	man   Manifest
+	index map[int64]recordRef
+	min   int64
+	max   int64
+
+	// Segment payloads decompress lazily and stay cached; the crawl's
+	// stride-sharded reverse walk revisits each segment many times, so the
+	// cache keeps the most recently touched few decompressed.
+	mu       sync.Mutex
+	cache    map[int][]byte
+	order    []int // cache keys, least recently used first
+	maxCache int
+}
+
+// Open loads dir's manifest and verifies every referenced segment:
+// checksum over the compressed bytes, magic, record walk, and agreement
+// with the manifest's block count, bounds and byte totals. Any mismatch
+// fails with an error wrapping ErrCorrupt. A directory without a manifest
+// fails with fs.ErrNotExist.
+func Open(dir string) (*Reader, error) {
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{
+		dir:      dir,
+		man:      man,
+		index:    make(map[int64]recordRef),
+		cache:    make(map[int][]byte),
+		maxCache: 4,
+	}
+	for i, seg := range man.Segments {
+		if err := r.verifySegment(i, seg); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// verifySegment checks one segment against its manifest entry and indexes
+// its records.
+func (r *Reader) verifySegment(i int, seg SegmentInfo) error {
+	path := filepath.Join(r.dir, seg.File)
+	compressed, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("archive: manifest references missing segment %s: %w", seg.File, ErrCorrupt)
+		}
+		return err
+	}
+	if got := sha256Hex(compressed); got != seg.SHA256 {
+		return fmt.Errorf("archive: segment %s checksum mismatch (manifest %s, file %s — truncated or modified): %w",
+			seg.File, short(seg.SHA256), short(got), ErrCorrupt)
+	}
+	payload, err := decompressSegment(compressed)
+	if err != nil {
+		return fmt.Errorf("archive: segment %s: %v: %w", seg.File, err, ErrCorrupt)
+	}
+	var (
+		blocks   int64
+		rawBytes int64
+		min, max int64
+	)
+	for off := int64(0); off < int64(len(payload)); {
+		if int64(len(payload))-off < 12 {
+			return fmt.Errorf("archive: segment %s ends mid-record header: %w", seg.File, ErrCorrupt)
+		}
+		num := int64(binary.BigEndian.Uint64(payload[off : off+8]))
+		n := int64(binary.BigEndian.Uint32(payload[off+8 : off+12]))
+		off += 12
+		if num <= 0 || n > maxRecordBytes || off+n > int64(len(payload)) {
+			return fmt.Errorf("archive: segment %s has a malformed record for block %d: %w", seg.File, num, ErrCorrupt)
+		}
+		// First occurrence wins: a duplicate is the same block re-archived
+		// by a resumed crawl (the tee lands before stream delivery, so a
+		// cancellation between the two re-fetches the block).
+		if _, dup := r.index[num]; !dup {
+			r.index[num] = recordRef{seg: i, off: off, n: int32(n)}
+		}
+		blocks++
+		rawBytes += n
+		if min == 0 || num < min {
+			min = num
+		}
+		if num > max {
+			max = num
+		}
+		off += n
+	}
+	if blocks != seg.Blocks || rawBytes != seg.RawBytes || min != seg.Min || max != seg.Max {
+		return fmt.Errorf("archive: segment %s disagrees with manifest (blocks %d/%d, bytes %d/%d, range [%d,%d]/[%d,%d]): %w",
+			seg.File, blocks, seg.Blocks, rawBytes, seg.RawBytes, min, max, seg.Min, seg.Max, ErrCorrupt)
+	}
+	if r.min == 0 || min < r.min {
+		r.min = min
+	}
+	if max > r.max {
+		r.max = max
+	}
+	return nil
+}
+
+// decompressSegment gunzips a segment and strips its magic.
+func decompressSegment(compressed []byte) ([]byte, error) {
+	gz, err := gzip.NewReader(bytes.NewReader(compressed))
+	if err != nil {
+		return nil, fmt.Errorf("opening gzip stream: %v", err)
+	}
+	payload, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, fmt.Errorf("decompressing: %v", err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, fmt.Errorf("closing gzip stream: %v", err)
+	}
+	if len(payload) < len(segmentMagic) || string(payload[:len(segmentMagic)]) != segmentMagic {
+		return nil, fmt.Errorf("bad segment magic")
+	}
+	return payload[len(segmentMagic):], nil
+}
+
+// short abbreviates a hex digest for error messages.
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12] + "…"
+	}
+	return h
+}
+
+// Chain returns the archived chain name.
+func (r *Reader) Chain() string { return r.man.Chain }
+
+// Segments reports how many segment files the archive holds.
+func (r *Reader) Segments() int { return len(r.man.Segments) }
+
+// Blocks counts the distinct archived block numbers.
+func (r *Reader) Blocks() int64 { return int64(len(r.index)) }
+
+// From returns the lowest archived block number (0 when empty).
+func (r *Reader) From() int64 { return r.min }
+
+// To returns the highest archived block number (0 when empty).
+func (r *Reader) To() int64 { return r.max }
+
+// Covers reports whether every block in [from, to] is archived.
+func (r *Reader) Covers(from, to int64) bool {
+	if from <= 0 || to < from {
+		return false
+	}
+	for num := from; num <= to; num++ {
+		if _, ok := r.index[num]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Head implements collect.BlockFetcher: the archive's newest block stands
+// in for the live chain head.
+func (r *Reader) Head(ctx context.Context) (int64, error) {
+	if r.max == 0 {
+		return 0, fmt.Errorf("archive: %s is empty", r.dir)
+	}
+	return r.max, nil
+}
+
+// FetchBlock implements collect.BlockFetcher from disk. The returned slice
+// is a copy — consumers may retain it.
+func (r *Reader) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
+	ref, ok := r.index[num]
+	if !ok {
+		return nil, fmt.Errorf("archive: block %d is not archived in %s", num, r.dir)
+	}
+	payload, err := r.segmentPayload(ref.seg)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, ref.n)
+	copy(raw, payload[ref.off:ref.off+int64(ref.n)])
+	return raw, nil
+}
+
+// segmentPayload returns a segment's uncompressed stream, from cache or by
+// re-reading the file. Open already verified the bytes; a file that fails
+// to re-read here was modified after Open.
+func (r *Reader) segmentPayload(i int) ([]byte, error) {
+	r.mu.Lock()
+	if payload, ok := r.cache[i]; ok {
+		r.touchLocked(i)
+		r.mu.Unlock()
+		return payload, nil
+	}
+	r.mu.Unlock()
+
+	seg := r.man.Segments[i]
+	compressed, err := os.ReadFile(filepath.Join(r.dir, seg.File))
+	if err != nil {
+		return nil, err
+	}
+	if got := sha256Hex(compressed); got != seg.SHA256 {
+		return nil, fmt.Errorf("archive: segment %s changed after open (checksum %s, expected %s): %w",
+			seg.File, short(got), short(seg.SHA256), ErrCorrupt)
+	}
+	payload, err := decompressSegment(compressed)
+	if err != nil {
+		return nil, fmt.Errorf("archive: segment %s: %v: %w", seg.File, err, ErrCorrupt)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cached, ok := r.cache[i]; ok {
+		// Another fetcher decompressed it concurrently; keep theirs.
+		r.touchLocked(i)
+		return cached, nil
+	}
+	r.cache[i] = payload
+	r.order = append(r.order, i)
+	for len(r.order) > r.maxCache {
+		evict := r.order[0]
+		r.order = r.order[1:]
+		delete(r.cache, evict)
+	}
+	return payload, nil
+}
+
+// touchLocked moves segment i to the back of the eviction order.
+func (r *Reader) touchLocked(i int) {
+	for k, v := range r.order {
+		if v == i {
+			r.order = append(append(r.order[:k:k], r.order[k+1:]...), i)
+			return
+		}
+	}
+}

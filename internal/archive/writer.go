@@ -1,0 +1,267 @@
+package archive
+
+import (
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// WriterConfig parameterizes an archive writer.
+type WriterConfig struct {
+	// Dir is the archive directory; it is created if missing. A directory
+	// holding an existing manifest is appended to (the chain must match),
+	// so a resumed crawl extends its archive instead of clobbering it.
+	Dir string
+	// Chain names the archived chain ("eos", "tezos", "xrp"); recorded in
+	// the manifest and validated on replay.
+	Chain string
+	// SegmentBlocks rotates the open segment after this many records
+	// (default 4096).
+	SegmentBlocks int
+	// SegmentBytes rotates the open segment after this many raw payload
+	// bytes (default 8 MiB). Rotation happens when either bound is hit.
+	SegmentBytes int64
+}
+
+func (c WriterConfig) withDefaults() WriterConfig {
+	if c.SegmentBlocks <= 0 {
+		c.SegmentBlocks = 4096
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 8 << 20
+	}
+	return c
+}
+
+// Writer tees a crawl's raw block stream into segment files. Append is the
+// collect.CrawlConfig.Tee shape and is safe for concurrent use — crawl
+// workers deliver from many goroutines. Close finalizes the open segment
+// and the manifest; until a segment is finalized (fsync + rename into
+// place) it lives under a .tmp name that replay ignores, so an interrupt
+// racing a rotation can tear nothing.
+type Writer struct {
+	mu     sync.Mutex
+	cfg    WriterConfig
+	man    Manifest
+	next   int // next segment file number
+	cur    *openSegment
+	blocks int64 // records across finalized + open segments this session
+	closed bool
+}
+
+// openSegment is the in-progress segment: a gzip stream over a .tmp file,
+// hashed as compressed bytes reach the file.
+type openSegment struct {
+	tmpPath string
+	file    *os.File
+	sha     hash.Hash
+	gz      *gzip.Writer
+	info    SegmentInfo
+	// poisoned is set when a record write failed partway: the stream may
+	// hold a torn record, so the segment must be discarded, never
+	// finalized into the manifest (a checksummed torn segment would fail
+	// the record walk on every later Open and brick the whole archive).
+	poisoned bool
+}
+
+// NewWriter opens dir for archiving. Stray .tmp files from a previous
+// crash are swept; an existing manifest is loaded and extended.
+func NewWriter(cfg WriterConfig) (*Writer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Chain == "" {
+		return nil, errors.New("archive: writer needs a chain name")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &Writer{cfg: cfg, next: 1, man: Manifest{Version: 1, Chain: cfg.Chain}}
+	man, err := loadManifest(cfg.Dir)
+	switch {
+	case err == nil:
+		if man.Chain != cfg.Chain {
+			return nil, fmt.Errorf("archive: %s already archives chain %q, not %q", cfg.Dir, man.Chain, cfg.Chain)
+		}
+		w.man = man
+		for _, s := range man.Segments {
+			var n int
+			if _, serr := fmt.Sscanf(s.File, "segment-%06d.gz", &n); serr == nil && n >= w.next {
+				w.next = n + 1
+			}
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh archive.
+	default:
+		return nil, err
+	}
+	// A crashed writer leaves its open segment as *.tmp; it was never
+	// referenced by the manifest, so it is garbage.
+	strays, err := filepath.Glob(filepath.Join(cfg.Dir, "segment-*.gz.tmp"))
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range strays {
+		if err := os.Remove(s); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Append archives one raw block. It matches collect.CrawlConfig.Tee.
+func (w *Writer) Append(num int64, raw []byte) error {
+	if num <= 0 {
+		return fmt.Errorf("archive: invalid block number %d", num)
+	}
+	if len(raw) > maxRecordBytes {
+		return fmt.Errorf("archive: block %d payload %d bytes exceeds record limit", num, len(raw))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("archive: append to closed writer")
+	}
+	if w.cur != nil && w.cur.poisoned {
+		return errors.New("archive: a previous write failed; the open segment is poisoned")
+	}
+	if w.cur == nil {
+		if err := w.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], uint64(num))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(raw)))
+	if _, err := w.cur.gz.Write(hdr[:]); err != nil {
+		w.cur.poisoned = true
+		return fmt.Errorf("archive: writing block %d: %w", num, err)
+	}
+	if _, err := w.cur.gz.Write(raw); err != nil {
+		w.cur.poisoned = true
+		return fmt.Errorf("archive: writing block %d: %w", num, err)
+	}
+	info := &w.cur.info
+	info.Blocks++
+	info.RawBytes += int64(len(raw))
+	if info.Min == 0 || num < info.Min {
+		info.Min = num
+	}
+	if num > info.Max {
+		info.Max = num
+	}
+	w.blocks++
+	if info.Blocks >= int64(w.cfg.SegmentBlocks) || info.RawBytes >= w.cfg.SegmentBytes {
+		return w.rotateLocked()
+	}
+	return nil
+}
+
+// openSegmentLocked starts the next segment under its .tmp name.
+func (w *Writer) openSegmentLocked() error {
+	name := segmentName(w.next)
+	tmp := filepath.Join(w.cfg.Dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	seg := &openSegment{tmpPath: tmp, file: f, sha: sha256.New(), info: SegmentInfo{File: name}}
+	seg.gz = gzip.NewWriter(io.MultiWriter(f, seg.sha))
+	if _, err := seg.gz.Write([]byte(segmentMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	w.cur = seg
+	w.next++
+	return nil
+}
+
+// rotateLocked finalizes the open segment — flush, fsync, rename into
+// place, directory fsync — and commits it to the manifest atomically. Only
+// after the manifest rewrite does replay see the segment, so a crash at
+// any point in this sequence leaves the archive exactly as it was before
+// the segment opened.
+func (w *Writer) rotateLocked() error {
+	seg := w.cur
+	w.cur = nil
+	if err := seg.gz.Close(); err != nil {
+		return fmt.Errorf("archive: finalizing %s: %w", seg.info.File, err)
+	}
+	if err := seg.file.Sync(); err != nil {
+		seg.file.Close()
+		return fmt.Errorf("archive: syncing %s: %w", seg.info.File, err)
+	}
+	if err := seg.file.Close(); err != nil {
+		return fmt.Errorf("archive: closing %s: %w", seg.info.File, err)
+	}
+	seg.info.SHA256 = fmt.Sprintf("%x", seg.sha.Sum(nil))
+	final := filepath.Join(w.cfg.Dir, seg.info.File)
+	if err := os.Rename(seg.tmpPath, final); err != nil {
+		return err
+	}
+	if err := syncDir(w.cfg.Dir); err != nil {
+		return err
+	}
+	w.man.Segments = append(w.man.Segments, seg.info)
+	return saveManifest(w.cfg.Dir, w.man)
+}
+
+// Close finalizes the open segment (if it holds any records) and writes
+// the manifest. A Writer whose crawl archived nothing still manifests the
+// empty archive, so a later Open distinguishes "archived zero blocks" from
+// "never archived".
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.cur != nil {
+		if w.cur.info.Blocks > 0 && !w.cur.poisoned {
+			return w.rotateLocked()
+		}
+		// Empty or poisoned open segment: discard the tmp file. A
+		// poisoned segment's blocks were reported as Append errors, so
+		// the crawl never marked them done and a resume refetches them.
+		seg := w.cur
+		w.cur = nil
+		seg.gz.Close()
+		seg.file.Close()
+		if err := os.Remove(seg.tmpPath); err != nil {
+			return err
+		}
+	}
+	return saveManifest(w.cfg.Dir, w.man)
+}
+
+// Blocks reports how many records this writer appended (duplicates
+// included), not counting segments inherited from an earlier session.
+func (w *Writer) Blocks() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.blocks
+}
+
+// Segments reports how many finalized segments the manifest holds.
+func (w *Writer) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.man.Segments)
+	if w.cur != nil && w.cur.info.Blocks > 0 && !w.cur.poisoned {
+		n++ // the open segment will be finalized by Close
+	}
+	return n
+}
+
+// Dir returns the archive directory.
+func (w *Writer) Dir() string { return w.cfg.Dir }
+
+// Chain returns the archived chain name.
+func (w *Writer) Chain() string { return w.cfg.Chain }

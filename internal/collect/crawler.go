@@ -45,6 +45,17 @@ type CrawlConfig struct {
 	// Resume, when set, pins the crawl to the checkpoint's range and skips
 	// every block the checkpoint records as delivered.
 	Resume *Checkpoint
+	// Tee, when set, receives every fetched block immediately before it is
+	// handed to the stream — the hook archive sinks attach to. It is called
+	// concurrently from crawl workers, so implementations must be safe for
+	// concurrent use. A Tee error aborts the whole crawl (surfaced wrapped
+	// in ErrTee), and the failing block is neither delivered nor marked
+	// done, so a resume refetches it.
+	// Because the tee lands before delivery, a crawl cancelled between the
+	// two may tee a block it never delivers; a resume then fetches and tees
+	// that block again, so Tee consumers must tolerate duplicates (the
+	// archive replayer dedupes by block number).
+	Tee func(num int64, raw []byte) error
 }
 
 // CrawlResult summarizes a finished crawl.

@@ -3,6 +3,7 @@ package collect
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -20,6 +21,13 @@ type Block struct {
 	Num int64
 	Raw []byte
 }
+
+// ErrTee marks a crawl failure that came from the CrawlConfig.Tee hook
+// rather than fetching. Callers persisting checkpoints must not do so when
+// errors.Is(err, ErrTee): blocks delivered earlier in the run may share a
+// discarded archive segment with the failed write, so recording them as
+// done would let a resume skip blocks the archive never kept.
+var ErrTee = errors.New("collect: tee failed")
 
 // Checkpoint records how far a crawl got, durably enough to resume it. The
 // crawler walks the range in reverse chronological order, so completion
@@ -280,7 +288,14 @@ func (h *CrawlHandle) run(ctx context.Context, f BlockFetcher, cfg CrawlConfig, 
 
 	sizer := stats.NewGzipSizer()
 	var wg sync.WaitGroup
-	var firstErr atomic.Value
+	// firstErr must not be an atomic.Value: the error concrete types vary
+	// (wrapped fetch errors vs. ErrTee-joined tee errors), and
+	// atomic.Value.CompareAndSwap panics on inconsistently typed values.
+	var firstErr onceError
+	// A failed tee (disk full, torn archive directory) is not a per-block
+	// condition like a fetch error: every later block would fail the same
+	// way, so the whole crawl stops.
+	var teeFailed atomic.Bool
 
 	// Reverse chronological order, sharded by stride: worker k owns
 	// To-k, To-k-Workers, … down to From.
@@ -290,7 +305,7 @@ func (h *CrawlHandle) run(ctx context.Context, f BlockFetcher, cfg CrawlConfig, 
 		go func(offset int64) {
 			defer wg.Done()
 			for num := cfg.To - offset; num >= cfg.From; num -= stride {
-				if ctx.Err() != nil {
+				if ctx.Err() != nil || teeFailed.Load() {
 					return
 				}
 				if resumed.Done(num) {
@@ -300,8 +315,15 @@ func (h *CrawlHandle) run(ctx context.Context, f BlockFetcher, cfg CrawlConfig, 
 				raw, err := fetchWithRetry(ctx, f, num, cfg, &h.res.Retries)
 				if err != nil {
 					atomic.AddInt64(&h.res.Failed, 1)
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.set(err)
 					continue
+				}
+				if cfg.Tee != nil {
+					if err := cfg.Tee(num, raw); err != nil {
+						firstErr.set(fmt.Errorf("%w: block %d: %w", ErrTee, num, err))
+						teeFailed.Store(true)
+						return
+					}
 				}
 				select {
 				case out <- Block{Num: num, Raw: raw}:
@@ -318,9 +340,30 @@ func (h *CrawlHandle) run(ctx context.Context, f BlockFetcher, cfg CrawlConfig, 
 	wg.Wait()
 
 	h.res.GzipBytes = sizer.CompressedBytes()
-	err, _ := firstErr.Load().(error)
+	err := firstErr.get()
 	if err == nil {
 		err = ctx.Err()
 	}
 	finish(err)
+}
+
+// onceError keeps the first error set, under a mutex so error values of
+// any concrete type can race to report.
+type onceError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (o *onceError) set(err error) {
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+func (o *onceError) get() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
 }

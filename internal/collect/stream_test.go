@@ -2,10 +2,12 @@ package collect
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -333,6 +335,133 @@ func TestStreamResumePinsRange(t *testing.T) {
 	}
 	if res.Blocks != 5 || res.Skipped != 5 {
 		t.Fatalf("resume fetched %d skipped %d, want 5/5", res.Blocks, res.Skipped)
+	}
+}
+
+// TestStreamTeeSeesEveryDeliveredBlock: the tee must observe exactly the
+// delivered set — no gaps (the archive would silently short-count) and
+// nothing the resume skip-list suppressed.
+func TestStreamTeeSeesEveryDeliveredBlock(t *testing.T) {
+	const total = 60
+	f := newMemFetcher(total, 0)
+	var mu sync.Mutex
+	teed := make(map[int64]int)
+	blocks, h := Stream(context.Background(), f, CrawlConfig{
+		Workers: 4, Buffer: 8,
+		Tee: func(num int64, raw []byte) error {
+			mu.Lock()
+			teed[num]++
+			mu.Unlock()
+			if want := fmt.Sprintf(`{"num":%d}`, num); string(raw) != want {
+				return fmt.Errorf("tee got %s for block %d", raw, num)
+			}
+			return nil
+		},
+	})
+	delivered := 0
+	for range blocks {
+		delivered++
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != total || len(teed) != total {
+		t.Fatalf("delivered %d, teed %d distinct, want %d", delivered, len(teed), total)
+	}
+	for num, n := range teed {
+		if n != 1 {
+			t.Fatalf("block %d teed %d times in an uninterrupted crawl", num, n)
+		}
+	}
+
+	// A resumed crawl must not re-tee checkpointed blocks.
+	cp := h.Checkpoint()
+	cp.Frontier = 31 // pretend only [31, 60] was delivered
+	cp.Extra = nil
+	f2 := newMemFetcher(total, 0)
+	var teed2 []int64
+	blocks2, h2 := Stream(context.Background(), f2, CrawlConfig{
+		Workers: 2, Resume: &cp,
+		Tee: func(num int64, raw []byte) error {
+			mu.Lock()
+			teed2 = append(teed2, num)
+			mu.Unlock()
+			return nil
+		},
+	})
+	for range blocks2 {
+	}
+	if _, err := h2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, num := range teed2 {
+		if num > 30 {
+			t.Fatalf("resume teed checkpointed block %d", num)
+		}
+	}
+	if len(teed2) != 30 {
+		t.Fatalf("resume teed %d blocks, want the 30 below the frontier", len(teed2))
+	}
+}
+
+// TestStreamTeeErrorAbortsCrawl: a failing tee (disk full, torn archive)
+// must stop the whole crawl with its error, and the failing block must not
+// be marked done — a resume has to refetch it so the archive can catch up.
+func TestStreamTeeErrorAbortsCrawl(t *testing.T) {
+	const total = 200
+	f := newMemFetcher(total, 0)
+	var calls int64
+	blocks, h := Stream(context.Background(), f, CrawlConfig{
+		Workers: 4, Buffer: 8,
+		Tee: func(num int64, raw []byte) error {
+			if atomic.AddInt64(&calls, 1) == 10 {
+				return fmt.Errorf("disk full")
+			}
+			return nil
+		},
+	})
+	for range blocks {
+	}
+	_, err := h.Wait()
+	if err == nil {
+		t.Fatal("crawl with a failing tee reported success")
+	}
+	if !errors.Is(err, ErrTee) {
+		t.Fatalf("tee failure not marked ErrTee: %v", err)
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("tee failure cause not surfaced: %v", err)
+	}
+	if got := atomic.LoadInt64(&calls); got > total/2 {
+		t.Fatalf("crawl kept fetching long after the tee failed (%d tee calls)", got)
+	}
+	cp := h.Checkpoint()
+	if cp.Remaining() == 0 {
+		t.Fatal("checkpoint claims completion although the tee aborted the crawl")
+	}
+}
+
+// TestStreamTeeErrorAfterFetchError: a fetch error and a tee error racing
+// to report must coexist — the error capture has to accept error values of
+// different concrete types without panicking (atomic.Value would not).
+func TestStreamTeeErrorAfterFetchError(t *testing.T) {
+	const total = 100
+	f := newMemFetcher(total, 0)
+	f.fail = map[int64]bool{total: true} // newest block fails first
+	var calls int64
+	blocks, h := Stream(context.Background(), f, CrawlConfig{
+		Workers: 2, Buffer: 4, MaxRetries: 1, Backoff: time.Microsecond,
+		Tee: func(num int64, raw []byte) error {
+			if atomic.AddInt64(&calls, 1) >= 20 {
+				return fmt.Errorf("disk full")
+			}
+			return nil
+		},
+	})
+	for range blocks {
+	}
+	if _, err := h.Wait(); err == nil {
+		t.Fatal("crawl with fetch and tee failures reported success")
 	}
 }
 

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ChainSummary is one chain's deterministic aggregate footprint: every
+// number in it derives from order-independent aggregates, so a live crawl
+// and an archive replay over the same blocks render byte-identical text —
+// the property the CI archive job diffs to prove replay determinism.
+type ChainSummary struct {
+	Chain        string
+	Blocks       int64
+	Transactions int64
+	First, Last  time.Time
+	// TypeCounts is the Figure 1-style transaction/operation/action type
+	// distribution.
+	TypeCounts map[string]int64
+	// BucketTotals are the per-bucket throughput totals behind the
+	// percentile lines.
+	BucketTotals []int64
+	// Wash carries the §4.1 wash-trade analysis (EOS only).
+	Wash *WashTradeReport
+	// Notes are extra chain-specific deterministic lines.
+	Notes []string
+}
+
+// StatsKit bundles one chain's aggregator behind the chain-agnostic
+// surfaces the CLIs need: a Decoder for the ingest pool, the running
+// transaction count for progress lines, and the deterministic figures
+// summary. cmd/crawl builds one for its live crawl and cmd/report builds
+// one per archive it replays — both ends of the archive determinism check
+// therefore run the same code.
+type StatsKit struct {
+	Chain     string
+	Decoder   Decoder
+	Txs       func() int64
+	Summarize func() ChainSummary
+}
+
+// NewStatsKit builds the aggregator stack for a chain name as it appears
+// in an archive manifest or a -chain flag.
+func NewStatsKit(chain string, origin time.Time, bucket time.Duration) (StatsKit, error) {
+	switch chain {
+	case "eos":
+		agg := NewEOSAggregator(origin, bucket)
+		return StatsKit{
+			Chain:     chain,
+			Decoder:   EOSDecoder{Agg: agg},
+			Txs:       func() int64 { return agg.Transactions },
+			Summarize: func() ChainSummary { return SummarizeEOS(agg) },
+		}, nil
+	case "tezos":
+		agg := NewTezosAggregator(origin, bucket)
+		return StatsKit{
+			Chain:     chain,
+			Decoder:   TezosDecoder{Agg: agg},
+			Txs:       func() int64 { return agg.Operations },
+			Summarize: func() ChainSummary { return SummarizeTezos(agg) },
+		}, nil
+	case "xrp":
+		agg := NewXRPAggregator(origin, bucket)
+		return StatsKit{
+			Chain:     chain,
+			Decoder:   XRPDecoder{Agg: agg},
+			Txs:       func() int64 { return agg.Transactions },
+			Summarize: func() ChainSummary { return SummarizeXRP(agg) },
+		}, nil
+	}
+	return StatsKit{}, fmt.Errorf("core: unknown chain %q", chain)
+}
+
+// SummarizeEOS captures an EOS aggregator's deterministic footprint.
+func SummarizeEOS(a *EOSAggregator) ChainSummary {
+	wash := AnalyzeWashTrades(a.Trades, 5)
+	s := ChainSummary{
+		Chain:        "eos",
+		Blocks:       a.Blocks,
+		Transactions: a.Transactions,
+		First:        a.FirstBlockTime,
+		Last:         a.LastBlockTime,
+		TypeCounts:   a.ActionsByName,
+		BucketTotals: stats.TotalValues(a.Series),
+		Wash:         &wash,
+	}
+	s.Notes = append(s.Notes,
+		fmt.Sprintf("boomerang txs:   %d", a.BoomerangTransactions()),
+		fmt.Sprintf("eidos share:     %.2f%% of actions", 100*a.EIDOSShare()))
+	return s
+}
+
+// SummarizeTezos captures a Tezos aggregator's deterministic footprint.
+func SummarizeTezos(a *TezosAggregator) ChainSummary {
+	return ChainSummary{
+		Chain:        "tezos",
+		Blocks:       a.Blocks,
+		Transactions: a.Operations,
+		First:        a.FirstBlockTime,
+		Last:         a.LastBlockTime,
+		TypeCounts:   a.OpsByKind,
+		BucketTotals: stats.TotalValues(a.Series),
+		Notes: []string{
+			fmt.Sprintf("endorsements:    %.2f%% of ops", 100*a.EndorsementShare()),
+		},
+	}
+}
+
+// SummarizeXRP captures an XRP aggregator's deterministic footprint.
+func SummarizeXRP(a *XRPAggregator) ChainSummary {
+	var failedShare float64
+	if a.Transactions > 0 {
+		failedShare = float64(a.Failed) / float64(a.Transactions)
+	}
+	return ChainSummary{
+		Chain:        "xrp",
+		Blocks:       a.Ledgers,
+		Transactions: a.Transactions,
+		First:        a.FirstLedgerTime,
+		Last:         a.LastLedgerTime,
+		TypeCounts:   a.TxByType,
+		BucketTotals: stats.TotalValues(a.Series),
+		Notes: []string{
+			fmt.Sprintf("failed txs:      %d (%.2f%%)", a.Failed, 100*failedShare),
+		},
+	}
+}
+
+// Render formats the summary as the stable "figures" section cmd/crawl
+// prints after a live crawl and cmd/report -replay prints after an offline
+// replay. Everything is sorted and derived from order-independent state,
+// so the text depends only on the set of ingested blocks.
+func (s ChainSummary) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s figures ---\n", s.Chain)
+	fmt.Fprintf(&sb, "blocks:          %d\n", s.Blocks)
+	fmt.Fprintf(&sb, "txs/ops:         %d\n", s.Transactions)
+	if s.First.IsZero() || s.Blocks == 0 {
+		sb.WriteString("window:          (empty)\n")
+	} else {
+		fmt.Fprintf(&sb, "window:          %s .. %s\n",
+			s.First.UTC().Format(time.RFC3339), s.Last.UTC().Format(time.RFC3339))
+		fmt.Fprintf(&sb, "observed tps:    %.3f\n", ObservedTPS(s.Transactions, s.First, s.Last))
+	}
+	if len(s.BucketTotals) > 0 {
+		vals := make([]float64, len(s.BucketTotals))
+		for i, v := range s.BucketTotals {
+			vals[i] = float64(v)
+		}
+		fmt.Fprintf(&sb, "bucket p50/p90/p99: %.1f / %.1f / %.1f\n",
+			stats.Percentile(vals, 50), stats.Percentile(vals, 90), stats.Percentile(vals, 99))
+	}
+	if len(s.TypeCounts) > 0 {
+		var total int64
+		names := make([]string, 0, len(s.TypeCounts))
+		for name, n := range s.TypeCounts {
+			names = append(names, name)
+			total += n
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if s.TypeCounts[names[i]] != s.TypeCounts[names[j]] {
+				return s.TypeCounts[names[i]] > s.TypeCounts[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		sb.WriteString("types:\n")
+		for _, name := range names {
+			fmt.Fprintf(&sb, "  %-22s %10d  %5.1f%%\n",
+				name, s.TypeCounts[name], 100*float64(s.TypeCounts[name])/float64(total))
+		}
+	}
+	if s.Wash != nil {
+		fmt.Fprintf(&sb, "wash trades:     %d settled, self-trade %.1f%%, top-5 involvement %.1f%%\n",
+			s.Wash.TotalTrades, 100*s.Wash.SelfTradeShare, 100*s.Wash.Top5Share)
+		for _, w := range s.Wash.TopAccounts {
+			fmt.Fprintf(&sb, "  %-22s trades %7d  self %5.1f%%\n", w.Account, w.Trades, 100*w.SelfTradeShare)
+		}
+	}
+	for _, note := range s.Notes {
+		sb.WriteString(note)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+
+	"repro/internal/archive"
+	"repro/internal/collect"
+)
+
+// stageArchiveDir is the per-stage archive location under Options.ArchiveDir
+// ("" when archiving is off).
+func (o Options) stageArchiveDir(stage string) string {
+	if o.ArchiveDir == "" {
+		return ""
+	}
+	return filepath.Join(o.ArchiveDir, stage)
+}
+
+// replayReader resolves a stage's archive to a replay fetcher.
+//
+//   - no ArchiveDir, or no manifest yet: (nil, nil) — crawl live.
+//   - a manifest covering [from, to] for the right chain: the Reader.
+//   - anything else — wrong chain, corruption, partial coverage: an error,
+//     because replaying a subset or appending to an archive written under
+//     different scenario parameters would silently skew every figure.
+func (o Options) replayReader(stage, chain string, from, to int64) (*archive.Reader, error) {
+	dir := o.stageArchiveDir(stage)
+	if dir == "" {
+		return nil, nil
+	}
+	rd, err := archive.Open(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage %s archive: %w", stage, err)
+	}
+	if rd.Chain() != chain {
+		return nil, fmt.Errorf("pipeline: stage %s archive %s holds chain %q, want %q", stage, dir, rd.Chain(), chain)
+	}
+	// The archive must be exactly the stage's range, not a superset: a
+	// changed scale moves the simulated head, and replaying a stale
+	// archive's subset would quietly measure the wrong scenario.
+	if rd.From() != from || rd.To() != to || !rd.Covers(from, to) {
+		return nil, fmt.Errorf("pipeline: stage %s archive %s covers [%d, %d] (%d blocks) but the stage needs exactly [%d, %d] — delete the archive directory to recrawl",
+			stage, dir, rd.From(), rd.To(), rd.Blocks(), from, to)
+	}
+	return rd, nil
+}
+
+// archiveWriter opens the write-through archive for a live stage crawl
+// (nil when archiving is off). It is only called when replayReader
+// returned neither a reader nor an error, i.e. on a fresh archive
+// directory.
+func (o Options) archiveWriter(stage, chain string) (*archive.Writer, error) {
+	dir := o.stageArchiveDir(stage)
+	if dir == "" {
+		return nil, nil
+	}
+	w, err := archive.NewWriter(archive.WriterConfig{Dir: dir, Chain: chain})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage %s archive: %w", stage, err)
+	}
+	return w, nil
+}
+
+// finishArchive closes the write-through archive after a stage crawl,
+// joining a finalization failure with the crawl's own error so neither is
+// lost — a stage whose crawl failed AND whose archive could not finalize
+// must report both (the unfinalized archive is why the next run will
+// demand a recrawl).
+func finishArchive(w *archive.Writer, crawlErr error) error {
+	if w == nil {
+		return crawlErr
+	}
+	if err := w.Close(); err != nil {
+		return errors.Join(crawlErr, fmt.Errorf("pipeline: finalizing archive: %w", err))
+	}
+	return crawlErr
+}
+
+// stageCollect resolves one stage's collection source: the archive replay
+// reader when the stage archive exactly covers [from, to], otherwise the
+// live fetcher built by live() — teed into a fresh write-through archive
+// when archiving is on. live() runs only on the live path (a replay skips
+// serving and probing entirely) and returns its own teardown; the caller
+// must defer the returned cleanup and pass the returned sink to
+// finishArchive after the crawl.
+func (o Options) stageCollect(stage, chain string, from, to int64, ccfg *collect.CrawlConfig, live func() (collect.BlockFetcher, func(), error)) (collect.BlockFetcher, *archive.Writer, func(), error) {
+	noop := func() {}
+	rd, err := o.replayReader(stage, chain, from, to)
+	if err != nil {
+		return nil, nil, noop, err
+	}
+	if rd != nil {
+		return rd, nil, noop, nil
+	}
+	fetcher, cleanup, err := live()
+	if cleanup == nil {
+		cleanup = noop
+	}
+	if err != nil {
+		return nil, nil, cleanup, err
+	}
+	sink, err := o.archiveWriter(stage, chain)
+	if err != nil {
+		return nil, nil, cleanup, err
+	}
+	if sink != nil {
+		ccfg.Tee = sink.Append
+	}
+	return fetcher, sink, cleanup, nil
+}

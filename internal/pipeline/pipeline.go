@@ -79,6 +79,19 @@ type Options struct {
 	// window is needed.
 	SkipGovernance bool
 
+	// ArchiveDir makes the producer side of every stage durable. When set,
+	// each stage keeps its raw block archive under a per-stage
+	// subdirectory (ArchiveDir/eos, …): a live crawl tees its stream into
+	// a fresh archive as it fetches, and a rerun whose archive already
+	// covers the stage's block range replays it from disk instead —
+	// no endpoints served, no probing, zero fetcher network calls. An
+	// archive that exists but does not cover the requested range (an
+	// interrupted run, or a scale/seed change since it was written) fails
+	// the stage with instructions to delete it, because silently mixing
+	// archived blocks from different scenario parameters would corrupt
+	// the measurement.
+	ArchiveDir string
+
 	// ExtraStages are appended to the built-in stage graph. They may
 	// depend on built-in stage names ("eos", "tezos", "xrp",
 	// "governance") via Stage.After. Note that SkipGovernance removes
@@ -248,51 +261,68 @@ func (r *Result) runEOS(ctx context.Context, opts Options, pool *collect.Pool) (
 	}
 	scenario.Run()
 	r.EOSScenario = scenario
+	to := int64(scenario.Chain.HeadNum())
 
-	// Expose several endpoints with varying generosity, probe them, and
-	// crawl through the shortlist — the paper's §3.1 methodology.
-	handler := rpcserve.NewEOSServer(scenario.Chain)
-	profiles := make([]rpcserve.EndpointProfile, opts.EOSEndpoints)
-	for i := range profiles {
-		switch i % 4 {
-		case 0: // generous
-			profiles[i] = rpcserve.EndpointProfile{}
-		case 1:
-			profiles[i] = rpcserve.EndpointProfile{RatePerSec: 5000, Burst: 500}
-		case 2: // stingy rate limit
-			profiles[i] = rpcserve.EndpointProfile{RatePerSec: 20, Burst: 5}
-		default: // slow
-			profiles[i] = rpcserve.EndpointProfile{Latency: 5 * time.Millisecond}
-		}
-	}
-	urls := make([]string, 0, len(profiles))
-	for _, p := range profiles {
-		url, stop, err := serve(p.Middleware(handler))
-		if err != nil {
-			return StageStats{}, err
-		}
-		defer stop()
-		urls = append(urls, url)
-	}
-	for _, u := range urls {
-		r.EndpointScores = append(r.EndpointScores, collect.ProbeEndpoint(ctx, u, collect.NewEOSClient(u), 6))
-	}
-	r.Shortlisted = collect.Shortlist(r.EndpointScores, opts.EOSShortlist)
-	fetchers := make([]collect.BlockFetcher, 0, len(r.Shortlisted))
-	for _, s := range r.Shortlisted {
-		fetchers = append(fetchers, collect.NewEOSClient(s.URL))
-	}
-	if len(fetchers) == 0 {
-		return StageStats{}, fmt.Errorf("no EOS endpoints survived probing")
-	}
-	multi := &collect.MultiFetcher{Fetchers: fetchers}
-
-	agg := core.NewEOSAggregator(chain.ObservationStart, opts.Bucket)
-	crawl, err := crawlInto(ctx, multi, collect.CrawlConfig{
+	ccfg := collect.CrawlConfig{
+		From: 1, To: to,
 		Workers: opts.Workers, Pool: pool, Buffer: opts.Buffer,
 		MaxRetries: 8, Backoff: 5 * time.Millisecond,
-	}, core.EOSDecoder{Agg: agg}, opts.ingestConfig())
+	}
+	fetcher, sink, cleanup, err := opts.stageCollect("eos", "eos", 1, to, &ccfg, func() (collect.BlockFetcher, func(), error) {
+		// Live crawl: expose several endpoints with varying generosity,
+		// probe them, and crawl through the shortlist — the paper's §3.1
+		// methodology. A replay skips all of it: the archive is the
+		// endpoint.
+		handler := rpcserve.NewEOSServer(scenario.Chain)
+		profiles := make([]rpcserve.EndpointProfile, opts.EOSEndpoints)
+		for i := range profiles {
+			switch i % 4 {
+			case 0: // generous
+				profiles[i] = rpcserve.EndpointProfile{}
+			case 1:
+				profiles[i] = rpcserve.EndpointProfile{RatePerSec: 5000, Burst: 500}
+			case 2: // stingy rate limit
+				profiles[i] = rpcserve.EndpointProfile{RatePerSec: 20, Burst: 5}
+			default: // slow
+				profiles[i] = rpcserve.EndpointProfile{Latency: 5 * time.Millisecond}
+			}
+		}
+		var stops []func()
+		stopAll := func() {
+			for _, stop := range stops {
+				stop()
+			}
+		}
+		urls := make([]string, 0, len(profiles))
+		for _, p := range profiles {
+			url, stop, err := serve(p.Middleware(handler))
+			if err != nil {
+				return nil, stopAll, err
+			}
+			stops = append(stops, stop)
+			urls = append(urls, url)
+		}
+		for _, u := range urls {
+			r.EndpointScores = append(r.EndpointScores, collect.ProbeEndpoint(ctx, u, collect.NewEOSClient(u), 6))
+		}
+		r.Shortlisted = collect.Shortlist(r.EndpointScores, opts.EOSShortlist)
+		fetchers := make([]collect.BlockFetcher, 0, len(r.Shortlisted))
+		for _, s := range r.Shortlisted {
+			fetchers = append(fetchers, collect.NewEOSClient(s.URL))
+		}
+		if len(fetchers) == 0 {
+			return nil, stopAll, fmt.Errorf("no EOS endpoints survived probing")
+		}
+		return &collect.MultiFetcher{Fetchers: fetchers}, stopAll, nil
+	})
+	defer cleanup()
 	if err != nil {
+		return StageStats{}, err
+	}
+
+	agg := core.NewEOSAggregator(chain.ObservationStart, opts.Bucket)
+	crawl, err := crawlInto(ctx, fetcher, ccfg, core.EOSDecoder{Agg: agg}, opts.ingestConfig())
+	if err = finishArchive(sink, err); err != nil {
 		return StageStats{}, err
 	}
 	r.EOS = agg
@@ -308,17 +338,27 @@ func (r *Result) runTezos(ctx context.Context, opts Options, pool *collect.Pool)
 	if _, err := scenario.Run(); err != nil {
 		return StageStats{}, err
 	}
-	url, stop, err := serve(rpcserve.NewTezosServer(scenario.Chain))
+	to := scenario.Chain.HeadLevel()
+
+	ccfg := collect.CrawlConfig{
+		From: 1, To: to,
+		Workers: opts.Workers, Pool: pool, Buffer: opts.Buffer,
+	}
+	fetcher, sink, cleanup, err := opts.stageCollect("tezos", "tezos", 1, to, &ccfg, func() (collect.BlockFetcher, func(), error) {
+		url, stop, err := serve(rpcserve.NewTezosServer(scenario.Chain))
+		if err != nil {
+			return nil, nil, err
+		}
+		return collect.NewTezosClient(url), stop, nil
+	})
+	defer cleanup()
 	if err != nil {
 		return StageStats{}, err
 	}
-	defer stop()
 
 	agg := core.NewTezosAggregator(chain.ObservationStart, opts.Bucket)
-	crawl, err := crawlInto(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
-		Workers: opts.Workers, Pool: pool, Buffer: opts.Buffer,
-	}, core.TezosDecoder{Agg: agg}, opts.ingestConfig())
-	if err != nil {
+	crawl, err := crawlInto(ctx, fetcher, ccfg, core.TezosDecoder{Agg: agg}, opts.ingestConfig())
+	if err = finishArchive(sink, err); err != nil {
 		return StageStats{}, err
 	}
 	r.Tezos = agg
@@ -334,18 +374,28 @@ func (r *Result) runGovernance(ctx context.Context, opts Options, pool *collect.
 	if _, err := g.Run(); err != nil {
 		return StageStats{}, err
 	}
-	url, stop, err := serve(rpcserve.NewTezosServer(g.Chain))
+	to := g.Chain.HeadLevel()
+
+	ccfg := collect.CrawlConfig{
+		From: 1, To: to,
+		Workers: opts.Workers, Pool: pool, Buffer: opts.Buffer,
+	}
+	fetcher, sink, cleanup, err := opts.stageCollect("governance", "tezos", 1, to, &ccfg, func() (collect.BlockFetcher, func(), error) {
+		url, stop, err := serve(rpcserve.NewTezosServer(g.Chain))
+		if err != nil {
+			return nil, nil, err
+		}
+		return collect.NewTezosClient(url), stop, nil
+	})
+	defer cleanup()
 	if err != nil {
 		return StageStats{}, err
 	}
-	defer stop()
 
 	// The governance replay starts in July; anchor its series there.
 	agg := core.NewTezosAggregator(time.Date(2019, time.July, 17, 0, 0, 0, 0, time.UTC), 24*time.Hour)
-	crawl, err := crawlInto(ctx, collect.NewTezosClient(url), collect.CrawlConfig{
-		Workers: opts.Workers, Pool: pool, Buffer: opts.Buffer,
-	}, core.TezosDecoder{Agg: agg}, opts.ingestConfig())
-	if err != nil {
+	crawl, err := crawlInto(ctx, fetcher, ccfg, core.TezosDecoder{Agg: agg}, opts.ingestConfig())
+	if err = finishArchive(sink, err); err != nil {
 		return StageStats{}, err
 	}
 	r.Gov = agg
@@ -359,16 +409,14 @@ func (r *Result) runXRP(ctx context.Context, opts Options, pool *collect.Pool) (
 	}
 	scenario.Run()
 	r.XRPScenario = scenario
+	// The build phase's ledgers stand in for pre-window history (gateway
+	// issuance, trust lines); the paper's window starts at October 1, so
+	// the crawl does too.
+	from, to := scenario.SetupLedgers+1, scenario.State.HeadIndex()
 
-	// The ledger API over WebSocket.
-	wsURL, stopWS, err := serve(rpcserve.NewXRPServer(scenario.State))
-	if err != nil {
-		return StageStats{}, err
-	}
-	defer stopWS()
-	wsURL = "ws" + strings.TrimPrefix(wsURL, "http")
-
-	// The explorer (XRP Scan + Data API): usernames and trade records.
+	// The explorer (XRP Scan + Data API): usernames and trade records. It
+	// serves even on replay — exchange records come from the Data API, not
+	// the crawled ledger stream.
 	dir := explorer.NewDirectory(scenario.State)
 	for addr, username := range scenario.Usernames {
 		dir.Register(addr, username)
@@ -381,19 +429,31 @@ func (r *Result) runXRP(ctx context.Context, opts Options, pool *collect.Pool) (
 	defer stopEx()
 	r.Dir = dir
 
-	agg := core.NewXRPAggregator(chain.ObservationStart, opts.Bucket)
-	client := collect.NewXRPClient(wsURL)
-	defer client.Close()
-	crawl, err := crawlInto(ctx, client, collect.CrawlConfig{
-		// The build phase's ledgers stand in for pre-window history
-		// (gateway issuance, trust lines); the paper's window starts at
-		// October 1, so the crawl does too.
-		From:    scenario.SetupLedgers + 1,
-		Workers: 1, // the WebSocket protocol is sequential per connection
+	ccfg := collect.CrawlConfig{
+		From: from, To: to,
+		Workers: opts.Workers,
 		Pool:    pool,
 		Buffer:  opts.Buffer,
-	}, core.XRPDecoder{Agg: agg}, opts.ingestConfig())
+	}
+	fetcher, sink, cleanup, err := opts.stageCollect("xrp", "xrp", from, to, &ccfg, func() (collect.BlockFetcher, func(), error) {
+		// The ledger API over WebSocket.
+		wsURL, stopWS, err := serve(rpcserve.NewXRPServer(scenario.State))
+		if err != nil {
+			return nil, nil, err
+		}
+		wsURL = "ws" + strings.TrimPrefix(wsURL, "http")
+		client := collect.NewXRPClient(wsURL)
+		ccfg.Workers = 1 // the WebSocket protocol is sequential per connection
+		return client, func() { client.Close(); stopWS() }, nil
+	})
+	defer cleanup()
 	if err != nil {
+		return StageStats{}, err
+	}
+
+	agg := core.NewXRPAggregator(chain.ObservationStart, opts.Bucket)
+	crawl, err := crawlInto(ctx, fetcher, ccfg, core.XRPDecoder{Agg: agg}, opts.ingestConfig())
+	if err = finishArchive(sink, err); err != nil {
 		return StageStats{}, err
 	}
 	// Pull trade records from the Data API, as the paper did for rates.
