@@ -1,0 +1,263 @@
+// Command benchgate turns `go test -bench` output into a regression gate:
+// it parses benchmark result lines, optionally snapshots them as JSON, and
+// compares them benchstat-style against a committed baseline
+// (BENCH_baseline.json), failing the build when time/op or allocs/op
+// regress beyond a threshold. It is self-contained (no x/perf dependency),
+// so the gate runs in CI and on developer machines with nothing installed.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | tee bench.out
+//	go run ./cmd/benchgate -baseline BENCH_baseline.json bench.out
+//	go run ./cmd/benchgate -write BENCH_5.json bench.out          # snapshot
+//	go run ./cmd/benchgate -baseline old.json -threshold 10 bench.out
+//
+// Comparison rules:
+//
+//   - allocs/op gates at the same percentage threshold plus one alloc of
+//     absolute slack (concurrent benches jitter by a few allocations);
+//     unlike time it is machine-independent, so a committed baseline is
+//     comparable anywhere.
+//   - time/op gates with the threshold and an absolute floor (see
+//     -floor-ns): sub-microsecond benches jitter too much in relative
+//     terms for a percentage alone. Against a baseline recorded on a
+//     different machine class, absolute times shift — refresh the
+//     baseline when the reference machine changes.
+//   - A baseline benchmark missing from the input fails the gate: a
+//     renamed benchmark or a drifted -bench regex must not silently
+//     shrink coverage to zero. New benchmarks (present only in the
+//     input) land freely; retiring one means refreshing the baseline in
+//     the same change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured numbers.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// HasMem marks results from -benchmem runs; only those gate allocs.
+	HasMem bool `json:"has_mem,omitempty"`
+}
+
+// Snapshot is the JSON trajectory artifact: one file per PR (BENCH_N.json)
+// plus the rolling BENCH_baseline.json the gate compares against.
+type Snapshot struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` result rows, e.g.
+// BenchmarkDecodeEOS/wire-4   50000   30123 ns/op   12 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var (
+	memCol   = regexp.MustCompile(`([0-9]+) B/op`)
+	allocCol = regexp.MustCompile(`([0-9]+) allocs/op`)
+)
+
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{NsPerOp: ns}
+		if b := memCol.FindStringSubmatch(m[3]); b != nil {
+			res.BytesPerOp, _ = strconv.ParseInt(b[1], 10, 64)
+			res.HasMem = true
+		}
+		if a := allocCol.FindStringSubmatch(m[3]); a != nil {
+			res.AllocsPerOp, _ = strconv.ParseInt(a[1], 10, 64)
+			res.HasMem = true
+		}
+		// Repeated runs of the same benchmark: keep the fastest, the
+		// conventional noise-rejection benchstat applies too.
+		if prev, ok := out[m[1]]; !ok || ns < prev.NsPerOp {
+			out[m[1]] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	return s, nil
+}
+
+type regression struct {
+	name, metric string
+	old, new     float64
+}
+
+// compare returns the regressions new shows over old given the threshold
+// (percent) and the absolute time floor in nanoseconds. A baseline
+// benchmark absent from cur is itself a regression (lost coverage).
+// Benchmarks matching timeSkip gate on allocs only — for IO-bound benches
+// (archive writes) whose wall time swings with system state far beyond
+// any honest threshold while their allocation profile stays exact.
+func compare(old, cur map[string]Result, thresholdPct, floorNs float64, timeSkip *regexp.Regexp) []regression {
+	var regs []regression
+	for name, o := range old {
+		n, ok := cur[name]
+		if !ok {
+			regs = append(regs, regression{name, "missing", o.NsPerOp, 0})
+			continue
+		}
+		limit := o.NsPerOp * (1 + thresholdPct/100)
+		if n.NsPerOp > limit && n.NsPerOp-o.NsPerOp > floorNs &&
+			(timeSkip == nil || !timeSkip.MatchString(name)) {
+			regs = append(regs, regression{name, "time/op", o.NsPerOp, n.NsPerOp})
+		}
+		if o.HasMem && n.HasMem {
+			// +1 absolute slack: a 0→1 alloc change is infinite in
+			// relative terms but usually incidental; 0→2 is a real leak.
+			allocLimit := float64(o.AllocsPerOp)*(1+thresholdPct/100) + 1
+			if float64(n.AllocsPerOp) > allocLimit {
+				regs = append(regs, regression{name, "allocs/op", float64(o.AllocsPerOp), float64(n.AllocsPerOp)})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].name != regs[j].name {
+			return regs[i].name < regs[j].name
+		}
+		return regs[i].metric < regs[j].metric
+	})
+	return regs
+}
+
+// table prints a benchstat-style old-vs-new delta table for every
+// benchmark present on both sides.
+func table(w io.Writer, old, cur map[string]Result) {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-60s %14s %14s %8s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	for _, name := range names {
+		o, n := old[name], cur[name]
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-60s %14.1f %14.1f %8s %12d %12d\n",
+			name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
+	}
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline snapshot JSON to gate against")
+	write := flag.String("write", "", "write the parsed results as a snapshot JSON")
+	note := flag.String("note", "", "note recorded in the written snapshot")
+	threshold := flag.Float64("threshold", 15, "regression threshold in percent for time/op and allocs/op")
+	floorNs := flag.Float64("floor-ns", 200, "ignore time/op regressions smaller than this absolute ns delta")
+	timeSkipPat := flag.String("time-skip", "", "regexp of benchmarks whose time/op is informational only (allocs still gate)")
+	flag.Parse()
+
+	var timeSkip *regexp.Regexp
+	if *timeSkipPat != "" {
+		var err error
+		if timeSkip, err = regexp.Compile(*timeSkipPat); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: bad -time-skip pattern:", err)
+			os.Exit(2)
+		}
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "benchgate: at most one input file (or stdin)")
+		os.Exit(2)
+	}
+
+	cur, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results in input")
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: parsed %d benchmark results\n", len(cur))
+
+	if *write != "" {
+		snap := Snapshot{Note: *note, Benchmarks: cur}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: wrote %s\n", *write)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := loadSnapshot(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	table(os.Stdout, base.Benchmarks, cur)
+	regs := compare(base.Benchmarks, cur, *threshold, *floorNs, timeSkip)
+	if len(regs) == 0 {
+		fmt.Printf("benchgate: no regressions beyond %.0f%% against %s\n", *threshold, *baseline)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond %.0f%%:\n", len(regs), *threshold)
+	for _, r := range regs {
+		if r.metric == "missing" {
+			fmt.Fprintf(os.Stderr, "  %-60s missing from input (baseline %.1f ns/op) — renamed bench or drifted -bench regex?\n",
+				r.name, r.old)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-60s %-10s %14.1f -> %14.1f (%+.1f%%)\n",
+			r.name, r.metric, r.old, r.new, 100*(r.new-r.old)/r.old)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamIngest/callback-sink         	      20	  11254042 ns/op	 3406574 B/op	   58705 allocs/op
+BenchmarkStreamIngest/stream-batched        	      20	  11373274 ns/op	 3404476 B/op	   57955 allocs/op
+BenchmarkDecodeEOS/wire-4                   	   50000	     30123 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGzipSizer 	     100	      2837 ns/op	 360.96 MB/s	    8067 B/op	       0 allocs/op
+BenchmarkPlainTime 	     100	      1500 ns/op
+not a bench line
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("parsed %d results, want 5: %#v", len(got), got)
+	}
+	wire := got["BenchmarkDecodeEOS/wire"]
+	if wire.NsPerOp != 30123 || wire.AllocsPerOp != 0 || !wire.HasMem {
+		t.Fatalf("wire bench parsed wrong: %+v", wire)
+	}
+	sizer := got["BenchmarkGzipSizer"]
+	if sizer.NsPerOp != 2837 || sizer.BytesPerOp != 8067 {
+		t.Fatalf("MB/s column broke parsing: %+v", sizer)
+	}
+	plain := got["BenchmarkPlainTime"]
+	if plain.HasMem {
+		t.Fatalf("plain bench should not gate allocs: %+v", plain)
+	}
+	stream := got["BenchmarkStreamIngest/stream-batched"]
+	if stream.AllocsPerOp != 57955 {
+		t.Fatalf("sub-benchmark parsed wrong: %+v", stream)
+	}
+}
+
+func TestParseKeepsFastestRun(t *testing.T) {
+	in := `
+BenchmarkX-4   10   2000 ns/op   10 B/op   3 allocs/op
+BenchmarkX-4   10   1000 ns/op   10 B/op   3 allocs/op
+BenchmarkX-4   10   3000 ns/op   10 B/op   3 allocs/op
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"].NsPerOp != 1000 {
+		t.Fatalf("want fastest run kept, got %+v", got["BenchmarkX"])
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1_000_000, AllocsPerOp: 100, HasMem: true},
+		"BenchmarkB": {NsPerOp: 1_000_000, AllocsPerOp: 0, HasMem: true},
+	}
+
+	// Within threshold: no regression; new benchmarks land freely.
+	cur := map[string]Result{
+		"BenchmarkA":   {NsPerOp: 1_100_000, AllocsPerOp: 110, HasMem: true},
+		"BenchmarkB":   {NsPerOp: 990_000, AllocsPerOp: 1, HasMem: true},
+		"BenchmarkNew": {NsPerOp: 42},
+	}
+	if regs := compare(old, cur, 15, 200, nil); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+
+	// A baseline benchmark missing from the input is lost coverage and
+	// must gate.
+	delete(cur, "BenchmarkB")
+	regs := compare(old, cur, 15, 200, nil)
+	if len(regs) != 1 || regs[0].name != "BenchmarkB" || regs[0].metric != "missing" {
+		t.Fatalf("missing baseline bench should gate: %+v", regs)
+	}
+	cur["BenchmarkB"] = Result{NsPerOp: 990_000, AllocsPerOp: 1, HasMem: true}
+
+	// Time blowout and alloc leak both gate.
+	cur = map[string]Result{
+		"BenchmarkA": {NsPerOp: 1_300_000, AllocsPerOp: 100, HasMem: true},
+		"BenchmarkB": {NsPerOp: 1_000_000, AllocsPerOp: 2, HasMem: true},
+	}
+	regs = compare(old, cur, 15, 200, nil)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %+v", regs)
+	}
+	if regs[0].name != "BenchmarkA" || regs[0].metric != "time/op" {
+		t.Fatalf("wrong first regression: %+v", regs[0])
+	}
+	if regs[1].name != "BenchmarkB" || regs[1].metric != "allocs/op" {
+		t.Fatalf("wrong second regression: %+v", regs[1])
+	}
+
+	// The absolute floor forgives relative jitter on tiny benches.
+	old = map[string]Result{"BenchmarkTiny": {NsPerOp: 100}}
+	cur = map[string]Result{"BenchmarkTiny": {NsPerOp: 250}}
+	if regs := compare(old, cur, 15, 200, nil); len(regs) != 0 {
+		t.Fatalf("floor should forgive 150ns jitter: %+v", regs)
+	}
+	cur = map[string]Result{"BenchmarkTiny": {NsPerOp: 400}}
+	if regs := compare(old, cur, 15, 200, nil); len(regs) != 1 {
+		t.Fatalf("300ns past floor should gate: %+v", regs)
+	}
+}
+
+func TestCompareTimeSkip(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkArchiveWrite": {NsPerOp: 10_000, AllocsPerOp: 0, HasMem: true},
+	}
+	cur := map[string]Result{
+		"BenchmarkArchiveWrite": {NsPerOp: 31_000, AllocsPerOp: 0, HasMem: true},
+	}
+	skip := regexp.MustCompile(`^BenchmarkArchive`)
+	if regs := compare(old, cur, 15, 200, skip); len(regs) != 0 {
+		t.Fatalf("time-skip should forgive IO-bound wall time: %+v", regs)
+	}
+	// Allocs still gate for skipped benchmarks.
+	cur["BenchmarkArchiveWrite"] = Result{NsPerOp: 31_000, AllocsPerOp: 6, HasMem: true}
+	if regs := compare(old, cur, 15, 200, skip); len(regs) != 1 || regs[0].metric != "allocs/op" {
+		t.Fatalf("alloc leak must still gate under time-skip: %+v", regs)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/prof"
 )
 
 type crawlOpts struct {
@@ -66,10 +67,18 @@ func main() {
 	flag.IntVar(&o.buffer, "buffer", 64, "stream buffer: max fetched-but-unprocessed blocks")
 	flag.Int64Var(&o.from, "from", 1, "first block")
 	flag.Int64Var(&o.to, "to", 0, "last block (0 = head)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if o.chain == "" || o.endpoint == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
 	}
 
 	// SIGINT/SIGTERM cancels the crawl context; the stream drains, the
@@ -77,7 +86,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, o, os.Stdout); err != nil {
+	err = run(ctx, o, os.Stdout)
+	// A profile-write failure surfaces even when the crawl itself failed:
+	// the failing run is exactly the one whose profile evidence matters.
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", perr)
+		if err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawl:", err)
 		os.Exit(1)
 	}

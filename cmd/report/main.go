@@ -40,6 +40,7 @@ import (
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -56,12 +57,38 @@ func main() {
 	stressScale := flag.Int64("stress-scale", 0, "eidos-stress scale divisor (0 = quarter of the EOS default)")
 	flag.StringVar(&opts.ArchiveDir, "archive", "", "archive directory: stages tee raw blocks into it, and replay from it when it already covers their ranges")
 	replay := flag.String("replay", "", "replay archives under this directory offline (no pipeline, no network) and print their figures")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	// finish is the single exit point once profiling has started: every
+	// path — success, pipeline error, unknown figure — finalizes the
+	// profiles first (a failing run is exactly the one whose partial CPU
+	// profile the user wants intact), and a profile-write failure turns an
+	// otherwise-clean exit into a failure instead of passing silently.
+	finish := func(code int, msg any) {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "report:", perr)
+			if code == 0 {
+				code = 1
+			}
+		}
+		if msg != nil {
+			fmt.Fprintln(os.Stderr, "report:", msg)
+		}
+		if code != 0 {
+			os.Exit(code)
+		}
+	}
 	if *replay != "" {
 		if err := replayArchives(context.Background(), *replay, opts.Workers, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "report:", err)
-			os.Exit(1)
+			finish(1, err)
 		}
+		finish(0, nil)
 		return
 	}
 	opts.EOS.Seed, opts.Tezos.Seed, opts.XRP.Seed, opts.Gov.Seed = *seed, *seed, *seed, *seed
@@ -75,8 +102,7 @@ func main() {
 
 	res, err := pipeline.Run(context.Background(), opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
+		finish(1, err)
 	}
 
 	switch strings.ToLower(*figure) {
@@ -113,9 +139,9 @@ func main() {
 	case "stages":
 		fmt.Println(pipeline.StageTimings(res))
 	default:
-		fmt.Fprintf(os.Stderr, "report: unknown figure %q\n", *figure)
-		os.Exit(2)
+		finish(2, fmt.Sprintf("unknown figure %q", *figure))
 	}
+	finish(0, nil)
 }
 
 // replayArchives regenerates figures offline from archived raw blocks. dir

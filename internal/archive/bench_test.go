@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"testing"
+
+	"repro/internal/wire"
 )
 
 // BenchmarkArchiveWrite measures the tee-side cost per archived block:
@@ -56,9 +58,13 @@ func BenchmarkArchiveReplay(b *testing.B) {
 			b.Fatal(err)
 		}
 		for num := int64(blocks); num >= 1; num-- {
-			if _, err := r.FetchBlock(context.Background(), num); err != nil {
+			raw, err := r.FetchBlock(context.Background(), num)
+			if err != nil {
 				b.Fatal(err)
 			}
+			// The consumer owns the buffer (Reader.OwnsRaw) and recycles it
+			// exactly as collect.Block.Release does in the live replay path.
+			wire.PutRaw(raw)
 		}
 	}
 }

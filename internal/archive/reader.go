@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/wire"
 )
 
 // recordRef locates one block's payload inside a segment's uncompressed
@@ -129,17 +131,27 @@ func (r *Reader) verifySegment(i int, seg SegmentInfo) error {
 	return nil
 }
 
+// gzReaderPool recycles gzip decompressors across segment reads: Open
+// verifies every segment and replay re-reads them on cache misses, so one
+// crawl inflates the same few hundred kilobytes of inflate state many
+// times without the pool.
+var gzReaderPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+
 // decompressSegment gunzips a segment and strips its magic.
 func decompressSegment(compressed []byte) ([]byte, error) {
-	gz, err := gzip.NewReader(bytes.NewReader(compressed))
-	if err != nil {
+	gz := gzReaderPool.Get().(*gzip.Reader)
+	if err := gz.Reset(bytes.NewReader(compressed)); err != nil {
+		gzReaderPool.Put(gz)
 		return nil, fmt.Errorf("opening gzip stream: %v", err)
 	}
 	payload, err := io.ReadAll(gz)
 	if err != nil {
+		gzReaderPool.Put(gz)
 		return nil, fmt.Errorf("decompressing: %v", err)
 	}
-	if err := gz.Close(); err != nil {
+	err = gz.Close()
+	gzReaderPool.Put(gz)
+	if err != nil {
 		return nil, fmt.Errorf("closing gzip stream: %v", err)
 	}
 	if len(payload) < len(segmentMagic) || string(payload[:len(segmentMagic)]) != segmentMagic {
@@ -194,7 +206,7 @@ func (r *Reader) Head(ctx context.Context) (int64, error) {
 }
 
 // FetchBlock implements collect.BlockFetcher from disk. The returned slice
-// is a copy — consumers may retain it.
+// is a copy in a recycled buffer — exclusively the caller's (see OwnsRaw).
 func (r *Reader) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
 	ref, ok := r.index[num]
 	if !ok {
@@ -204,10 +216,21 @@ func (r *Reader) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw := make([]byte, ref.n)
-	copy(raw, payload[ref.off:ref.off+int64(ref.n)])
+	raw := wire.GetRaw()
+	if cap(raw) < int(ref.n) {
+		// Too small for this record: return it rather than letting append
+		// strand it, so the pool converges on record-sized buffers.
+		wire.PutRaw(raw)
+		raw = make([]byte, 0, ref.n)
+	}
+	raw = append(raw, payload[ref.off:ref.off+int64(ref.n)]...)
 	return raw, nil
 }
+
+// OwnsRaw marks FetchBlock results as exclusively caller-owned, so replay
+// streams recycle payload buffers exactly like live crawls (the
+// collect.RawRecycler contract).
+func (r *Reader) OwnsRaw() bool { return true }
 
 // segmentPayload returns a segment's uncompressed stream, from cache or by
 // re-reading the file. Open already verified the bytes; a file that fails

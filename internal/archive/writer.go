@@ -65,11 +65,32 @@ type openSegment struct {
 	sha     hash.Hash
 	gz      *gzip.Writer
 	info    SegmentInfo
+	// hdr is the record length-prefix scratch, reused across Appends so
+	// the 12-byte header never escapes to the heap per record.
+	hdr [12]byte
 	// poisoned is set when a record write failed partway: the stream may
 	// hold a torn record, so the segment must be discarded, never
 	// finalized into the manifest (a checksummed torn segment would fail
 	// the record walk on every later Open and brick the whole archive).
 	poisoned bool
+}
+
+// gzWriterPool recycles gzip compressors across segment rotations; a
+// gzip.Writer carries hundreds of kilobytes of deflate state that was
+// re-allocated on every segment before this pool existed.
+var gzWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// getGzipWriter takes a pooled compressor reset onto w.
+func getGzipWriter(w io.Writer) *gzip.Writer {
+	gz := gzWriterPool.Get().(*gzip.Writer)
+	gz.Reset(w)
+	return gz
+}
+
+// putGzipWriter returns a closed (or abandoned) compressor to the pool.
+func putGzipWriter(gz *gzip.Writer) {
+	gz.Reset(io.Discard)
+	gzWriterPool.Put(gz)
 }
 
 // NewWriter opens dir for archiving. Stray .tmp files from a previous
@@ -136,10 +157,10 @@ func (w *Writer) Append(num int64, raw []byte) error {
 			return err
 		}
 	}
-	var hdr [12]byte
+	hdr := w.cur.hdr[:]
 	binary.BigEndian.PutUint64(hdr[:8], uint64(num))
 	binary.BigEndian.PutUint32(hdr[8:], uint32(len(raw)))
-	if _, err := w.cur.gz.Write(hdr[:]); err != nil {
+	if _, err := w.cur.gz.Write(hdr); err != nil {
 		w.cur.poisoned = true
 		return fmt.Errorf("archive: writing block %d: %w", num, err)
 	}
@@ -172,8 +193,9 @@ func (w *Writer) openSegmentLocked() error {
 		return err
 	}
 	seg := &openSegment{tmpPath: tmp, file: f, sha: sha256.New(), info: SegmentInfo{File: name}}
-	seg.gz = gzip.NewWriter(io.MultiWriter(f, seg.sha))
+	seg.gz = getGzipWriter(io.MultiWriter(f, seg.sha))
 	if _, err := seg.gz.Write([]byte(segmentMagic)); err != nil {
+		putGzipWriter(seg.gz)
 		f.Close()
 		return err
 	}
@@ -190,7 +212,9 @@ func (w *Writer) openSegmentLocked() error {
 func (w *Writer) rotateLocked() error {
 	seg := w.cur
 	w.cur = nil
-	if err := seg.gz.Close(); err != nil {
+	err := seg.gz.Close()
+	putGzipWriter(seg.gz)
+	if err != nil {
 		return fmt.Errorf("archive: finalizing %s: %w", seg.info.File, err)
 	}
 	if err := seg.file.Sync(); err != nil {
@@ -233,6 +257,7 @@ func (w *Writer) Close() error {
 		seg := w.cur
 		w.cur = nil
 		seg.gz.Close()
+		putGzipWriter(seg.gz)
 		seg.file.Close()
 		if err := os.Remove(seg.tmpPath); err != nil {
 			return err

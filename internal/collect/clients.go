@@ -17,8 +17,31 @@ import (
 	"time"
 
 	"repro/internal/rpcserve"
+	"repro/internal/wire"
 	"repro/internal/wsrpc"
 )
+
+// readAllRecycled drains r into a buffer recycled through wire.GetRaw, so a
+// steady-state crawl reads block payloads without allocating. The returned
+// slice is exclusively the caller's; Block.Release sends it back to the
+// pool.
+func readAllRecycled(r io.Reader) ([]byte, error) {
+	buf := wire.GetRaw()
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			wire.PutRaw(buf)
+			return nil, err
+		}
+	}
+}
 
 // ErrRateLimited signals an HTTP 429; the crawler backs off and retries.
 type rateLimitError struct{ retryAfter time.Duration }
@@ -53,7 +76,7 @@ func (c *EOSClient) post(ctx context.Context, path string, body any) ([]byte, er
 		return nil, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	raw, err := readAllRecycled(resp.Body)
 	if err != nil {
 		return nil, err
 	}
@@ -61,11 +84,18 @@ func (c *EOSClient) post(ctx context.Context, path string, body any) ([]byte, er
 	case http.StatusOK:
 		return raw, nil
 	case http.StatusTooManyRequests:
+		wire.PutRaw(raw)
 		return nil, rateLimitError{retryAfter: time.Second}
 	default:
-		return nil, fmt.Errorf("collect: %s%s returned %s", c.BaseURL, path, resp.Status)
+		err := fmt.Errorf("collect: %s%s returned %s", c.BaseURL, path, resp.Status)
+		wire.PutRaw(raw)
+		return nil, err
 	}
 }
+
+// OwnsRaw marks FetchBlock results as exclusively caller-owned, letting the
+// stream recycle released payload buffers (see RawRecycler).
+func (c *EOSClient) OwnsRaw() bool { return true }
 
 // Head returns the endpoint's current head block number.
 func (c *EOSClient) Head(ctx context.Context) (int64, error) {
@@ -73,6 +103,7 @@ func (c *EOSClient) Head(ctx context.Context) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer wire.PutRaw(raw)
 	var info struct {
 		HeadBlockNum int64 `json:"head_block_num"`
 	}
@@ -87,10 +118,16 @@ func (c *EOSClient) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
 	return c.post(ctx, "/v1/chain/get_block", map[string]any{"block_num_or_id": num})
 }
 
-// DecodeEOSBlock parses the raw JSON the server produced.
+// DecodeEOSBlock parses the raw JSON the server produced into a fresh,
+// caller-owned struct through the pooled wire codec. Hot-path consumers
+// that can honor the arena contract should decode into wire.GetEOSBlock
+// instead (see core.EOSDecoder).
 func DecodeEOSBlock(raw []byte) (*rpcserve.EOSBlockJSON, error) {
 	var b rpcserve.EOSBlockJSON
-	if err := json.Unmarshal(raw, &b); err != nil {
+	c := wire.GetCodec()
+	err := c.DecodeEOSBlock(raw, &b)
+	wire.PutCodec(c)
+	if err != nil {
 		return nil, fmt.Errorf("collect: decoding EOS block: %w", err)
 	}
 	return &b, nil
@@ -117,7 +154,7 @@ func (c *TezosClient) get(ctx context.Context, path string) ([]byte, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	raw, err := readAllRecycled(resp.Body)
 	if err != nil {
 		return nil, err
 	}
@@ -125,11 +162,17 @@ func (c *TezosClient) get(ctx context.Context, path string) ([]byte, error) {
 	case http.StatusOK:
 		return raw, nil
 	case http.StatusTooManyRequests:
+		wire.PutRaw(raw)
 		return nil, rateLimitError{retryAfter: time.Second}
 	default:
-		return nil, fmt.Errorf("collect: %s%s returned %s", c.BaseURL, path, resp.Status)
+		err := fmt.Errorf("collect: %s%s returned %s", c.BaseURL, path, resp.Status)
+		wire.PutRaw(raw)
+		return nil, err
 	}
 }
+
+// OwnsRaw marks FetchBlock results as exclusively caller-owned.
+func (c *TezosClient) OwnsRaw() bool { return true }
 
 // Head returns the current head level.
 func (c *TezosClient) Head(ctx context.Context) (int64, error) {
@@ -137,6 +180,7 @@ func (c *TezosClient) Head(ctx context.Context) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer wire.PutRaw(raw)
 	var b struct {
 		Level int64 `json:"level"`
 	}
@@ -151,10 +195,14 @@ func (c *TezosClient) FetchBlock(ctx context.Context, level int64) ([]byte, erro
 	return c.get(ctx, fmt.Sprintf("/chains/main/blocks/%d", level))
 }
 
-// DecodeTezosBlock parses the raw JSON the server produced.
+// DecodeTezosBlock parses the raw JSON the server produced into a fresh,
+// caller-owned struct through the pooled wire codec.
 func DecodeTezosBlock(raw []byte) (*rpcserve.TezosBlockJSON, error) {
 	var b rpcserve.TezosBlockJSON
-	if err := json.Unmarshal(raw, &b); err != nil {
+	c := wire.GetCodec()
+	err := c.DecodeTezosBlock(raw, &b)
+	wire.PutCodec(c)
+	if err != nil {
 		return nil, fmt.Errorf("collect: decoding Tezos block: %w", err)
 	}
 	return &b, nil
@@ -171,6 +219,10 @@ type XRPClient struct {
 
 // NewXRPClient wraps a ws:// endpoint.
 func NewXRPClient(url string) *XRPClient { return &XRPClient{URL: url} }
+
+// OwnsRaw marks FetchBlock results as exclusively caller-owned: each call
+// returns a freshly decoded result envelope no one else references.
+func (c *XRPClient) OwnsRaw() bool { return true }
 
 func (c *XRPClient) ensure() (*wsrpc.Conn, error) {
 	if c.conn != nil {
@@ -260,13 +312,15 @@ func (c *XRPClient) FetchBlock(ctx context.Context, index int64) ([]byte, error)
 	return raw, nil
 }
 
-// DecodeXRPLedger parses the ledger result envelope.
+// DecodeXRPLedger parses the ledger result envelope into a fresh,
+// caller-owned struct through the pooled wire codec.
 func DecodeXRPLedger(raw []byte) (*rpcserve.XRPLedgerJSON, error) {
-	var res struct {
-		Ledger rpcserve.XRPLedgerJSON `json:"ledger"`
-	}
-	if err := json.Unmarshal(raw, &res); err != nil {
+	var l rpcserve.XRPLedgerJSON
+	c := wire.GetCodec()
+	err := c.DecodeXRPLedgerResult(raw, &l)
+	wire.PutCodec(c)
+	if err != nil {
 		return nil, fmt.Errorf("collect: decoding XRP ledger: %w", err)
 	}
-	return &res.Ledger, nil
+	return &l, nil
 }

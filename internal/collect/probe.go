@@ -95,6 +95,19 @@ type MultiFetcher struct {
 	next     int64
 }
 
+// OwnsRaw reports whether every underlying fetcher guarantees exclusive
+// ownership of its FetchBlock results; the stream recycles payload buffers
+// only when all of them do.
+func (m *MultiFetcher) OwnsRaw() bool {
+	for _, f := range m.Fetchers {
+		rr, ok := f.(RawRecycler)
+		if !ok || !rr.OwnsRaw() {
+			return false
+		}
+	}
+	return len(m.Fetchers) > 0
+}
+
 // Head asks each endpoint in turn until one answers (heads agree across
 // honest endpoints; some may be momentarily rate limited).
 func (m *MultiFetcher) Head(ctx context.Context) (int64, error) {

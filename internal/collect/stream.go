@@ -12,14 +12,44 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 // Block is one fetched payload flowing through a crawl stream: the raw wire
 // bytes, still undecoded, so crawl workers never pay decode or aggregation
 // cost. Decoding happens downstream (see core.IngestStream).
+//
+// Release recycles the payload buffer once the consumer has extracted
+// everything it needs. After Release, Raw is nil and the consumer must hold
+// no view into the old bytes (decoded structs are safe: the wire codecs
+// copy every string they keep). Release is a no-op for blocks whose fetcher
+// did not declare raw ownership, so legacy sinks and test fetchers that
+// share buffers stay correct.
 type Block struct {
 	Num int64
 	Raw []byte
+	// pooled marks Raw as exclusively owned and recyclable (set by Stream
+	// when the fetcher implements RawRecycler).
+	pooled bool
+}
+
+// Release returns the payload buffer to the recycling pool. Safe to call
+// multiple times; only the first has effect.
+func (b *Block) Release() {
+	if b.pooled && b.Raw != nil {
+		wire.PutRaw(b.Raw)
+	}
+	b.Raw = nil
+	b.pooled = false
+}
+
+// RawRecycler is implemented by BlockFetchers whose FetchBlock results are
+// exclusively owned by the caller — each returned slice has no other
+// holder, so the stream may recycle it through wire.PutRaw after the
+// consumer calls Block.Release. The repo's chain clients and the archive
+// reader all qualify; fetchers that replay shared buffers must not.
+type RawRecycler interface {
+	OwnsRaw() bool
 }
 
 // ErrTee marks a crawl failure that came from the CrawlConfig.Tee hook
@@ -287,6 +317,13 @@ func (h *CrawlHandle) run(ctx context.Context, f BlockFetcher, cfg CrawlConfig, 
 	h.mu.Unlock()
 
 	sizer := stats.NewGzipSizer()
+	defer sizer.Close() // recycle the pooled compressor
+	// Payload buffers recycle only when the fetcher guarantees exclusive
+	// ownership of what FetchBlock returns.
+	var recycle bool
+	if rr, ok := f.(RawRecycler); ok {
+		recycle = rr.OwnsRaw()
+	}
 	var wg sync.WaitGroup
 	// firstErr must not be an atomic.Value: the error concrete types vary
 	// (wrapped fetch errors vs. ErrTee-joined tee errors), and
@@ -325,11 +362,17 @@ func (h *CrawlHandle) run(ctx context.Context, f BlockFetcher, cfg CrawlConfig, 
 						return
 					}
 				}
+				// The sizer must see the payload before delivery: once the
+				// consumer has the Block it may Release the buffer back to
+				// the pool at any moment. A cancellation between here and
+				// the send can therefore leave GzipBytes counting a block
+				// Blocks/RawBytes do not — progress-line accounting only;
+				// the deterministic figures never read GzipBytes.
+				sizer.Write(raw)
 				select {
-				case out <- Block{Num: num, Raw: raw}:
+				case out <- Block{Num: num, Raw: raw, pooled: recycle}:
 					atomic.AddInt64(&h.res.Blocks, 1)
 					atomic.AddInt64(&h.res.RawBytes, int64(len(raw)))
-					sizer.Write(raw)
 					h.markDone(num)
 				case <-ctx.Done():
 					return

@@ -84,6 +84,10 @@ type EOSAggregator struct {
 	BoomerangVolume float64
 
 	FirstBlockTime, LastBlockTime time.Time
+
+	// legScratch is reused (under mu) for per-transaction transfer legs,
+	// keeping the boomerang check allocation-free per transaction.
+	legScratch []transferLeg
 }
 
 // DEXTrade is one settled on-chain trade (WhaleEx verifytrade2).
@@ -165,9 +169,10 @@ func (a *EOSAggregator) ingestLocked(b *rpcserve.EOSBlockJSON, ts time.Time) {
 		a.LastBlockTime = ts
 	}
 
-	for _, trx := range b.Transactions {
+	for ti := range b.Transactions {
+		trx := &b.Transactions[ti]
 		a.Transactions++
-		var transfersSeen []transferLeg
+		transfersSeen := a.legScratch[:0]
 		for _, act := range trx.Trx.Transaction.Actions {
 			a.Actions++
 			a.ActionsByName[a.figure1Name(act)]++
@@ -221,6 +226,7 @@ func (a *EOSAggregator) ingestLocked(b *rpcserve.EOSBlockJSON, ts time.Time) {
 		if isBoomerang(transfersSeen) {
 			a.boomerangs++
 		}
+		a.legScratch = transfersSeen
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/collect"
 	"repro/internal/rpcserve"
+	"repro/internal/wire"
 )
 
 // Ingestor consumes raw crawled payloads chain-agnostically: one method,
@@ -28,6 +29,16 @@ type Decoder interface {
 	IngestBatch(batch []any) error
 }
 
+// BatchReleaser is implemented by Decoders whose decoded values come from
+// a reusable arena (wire.GetEOSBlock and friends). After IngestBatch has
+// folded a batch in, the ingest pool hands the values back through
+// ReleaseBatch; the aggregators retain only strings (immutable, safe
+// forever), never the structs, slices or maps themselves — the contract
+// that makes the steady-state ingest path allocation-free.
+type BatchReleaser interface {
+	ReleaseBatch(batch []any)
+}
+
 // NewIngestor adapts a Decoder into an Ingestor that decodes and applies
 // each payload immediately (batch of one). Use IngestStream instead when a
 // block stream is available — it batches.
@@ -40,15 +51,31 @@ func (i decoderIngestor) IngestRaw(num int64, raw []byte) error {
 	if err != nil {
 		return err
 	}
-	return i.d.IngestBatch([]any{blk})
+	batch := [1]any{blk}
+	if err := i.d.IngestBatch(batch[:]); err != nil {
+		return err
+	}
+	if r, ok := i.d.(BatchReleaser); ok {
+		r.ReleaseBatch(batch[:])
+	}
+	return nil
 }
 
 // EOSDecoder drives an EOSAggregator from raw nodeos-style block JSON.
 type EOSDecoder struct{ Agg *EOSAggregator }
 
-// Decode parses one raw EOS block.
+// Decode parses one raw EOS block into an arena struct through the pooled
+// wire codec; ReleaseBatch recycles it after ingestion.
 func (d EOSDecoder) Decode(num int64, raw []byte) (any, error) {
-	return collect.DecodeEOSBlock(raw)
+	b := wire.GetEOSBlock()
+	c := wire.GetCodec()
+	err := c.DecodeEOSBlock(raw, b)
+	wire.PutCodec(c)
+	if err != nil {
+		wire.PutEOSBlock(b)
+		return nil, fmt.Errorf("core: decoding EOS block: %w", err)
+	}
+	return b, nil
 }
 
 // IngestBatch folds decoded blocks into the aggregator, one lock for the
@@ -61,12 +88,28 @@ func (d EOSDecoder) IngestBatch(batch []any) error {
 	return d.Agg.IngestBlocks(blocks)
 }
 
+// ReleaseBatch returns decoded blocks to the wire arena.
+func (d EOSDecoder) ReleaseBatch(batch []any) {
+	for _, b := range batch {
+		wire.PutEOSBlock(b.(*rpcserve.EOSBlockJSON))
+	}
+}
+
 // TezosDecoder drives a TezosAggregator from raw octez-style block JSON.
 type TezosDecoder struct{ Agg *TezosAggregator }
 
-// Decode parses one raw Tezos block.
+// Decode parses one raw Tezos block into an arena struct through the
+// pooled wire codec; ReleaseBatch recycles it after ingestion.
 func (d TezosDecoder) Decode(num int64, raw []byte) (any, error) {
-	return collect.DecodeTezosBlock(raw)
+	b := wire.GetTezosBlock()
+	c := wire.GetCodec()
+	err := c.DecodeTezosBlock(raw, b)
+	wire.PutCodec(c)
+	if err != nil {
+		wire.PutTezosBlock(b)
+		return nil, fmt.Errorf("core: decoding Tezos block: %w", err)
+	}
+	return b, nil
 }
 
 // IngestBatch folds decoded blocks into the aggregator, one lock for the
@@ -79,12 +122,28 @@ func (d TezosDecoder) IngestBatch(batch []any) error {
 	return d.Agg.IngestBlocks(blocks)
 }
 
+// ReleaseBatch returns decoded blocks to the wire arena.
+func (d TezosDecoder) ReleaseBatch(batch []any) {
+	for _, b := range batch {
+		wire.PutTezosBlock(b.(*rpcserve.TezosBlockJSON))
+	}
+}
+
 // XRPDecoder drives an XRPAggregator from raw rippled ledger envelopes.
 type XRPDecoder struct{ Agg *XRPAggregator }
 
-// Decode parses one raw ledger result envelope.
+// Decode parses one raw ledger result envelope into an arena struct
+// through the pooled wire codec; ReleaseBatch recycles it after ingestion.
 func (d XRPDecoder) Decode(num int64, raw []byte) (any, error) {
-	return collect.DecodeXRPLedger(raw)
+	l := wire.GetXRPLedger()
+	c := wire.GetCodec()
+	err := c.DecodeXRPLedgerResult(raw, l)
+	wire.PutCodec(c)
+	if err != nil {
+		wire.PutXRPLedger(l)
+		return nil, fmt.Errorf("core: decoding XRP ledger: %w", err)
+	}
+	return l, nil
 }
 
 // IngestBatch folds decoded ledgers into the aggregator, one lock for the
@@ -95,6 +154,13 @@ func (d XRPDecoder) IngestBatch(batch []any) error {
 		ledgers[i] = l.(*rpcserve.XRPLedgerJSON)
 	}
 	return d.Agg.IngestLedgers(ledgers)
+}
+
+// ReleaseBatch returns decoded ledgers to the wire arena.
+func (d XRPDecoder) ReleaseBatch(batch []any) {
+	for _, l := range batch {
+		wire.PutXRPLedger(l.(*rpcserve.XRPLedgerJSON))
+	}
 }
 
 // IngestConfig sizes the decode/ingest pool behind IngestStream.
@@ -145,6 +211,7 @@ func IngestStream(ctx context.Context, blocks <-chan collect.Block, d Decoder, c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			releaser, _ := d.(BatchReleaser)
 			batch := make([]any, 0, cfg.Batch)
 			flush := func() error {
 				if len(batch) == 0 {
@@ -154,14 +221,23 @@ func IngestStream(ctx context.Context, blocks <-chan collect.Block, d Decoder, c
 					return err
 				}
 				atomic.AddInt64(&ingested, int64(len(batch)))
+				// The aggregator kept only strings; the decoded structs go
+				// back to the arena for the next batch.
+				if releaser != nil {
+					releaser.ReleaseBatch(batch)
+				}
 				batch = batch[:0]
 				return nil
 			}
 			for blk := range blocks {
 				if failed.Load() {
+					blk.Release()
 					return
 				}
 				dec, err := d.Decode(blk.Num, blk.Raw)
+				// Decoded structs own copies of everything they keep, so
+				// the raw payload buffer recycles immediately.
+				blk.Release()
 				if err != nil {
 					firstErr.CompareAndSwap(nil, fmt.Errorf("core: decoding block %d: %w", blk.Num, err))
 					failed.Store(true)

@@ -151,8 +151,12 @@ func (s ChainSummary) Render() string {
 		for i, v := range s.BucketTotals {
 			vals[i] = float64(v)
 		}
+		// One sort serves the whole quantile grid.
+		sel := stats.GetSelector()
+		sel.Load(vals)
 		fmt.Fprintf(&sb, "bucket p50/p90/p99: %.1f / %.1f / %.1f\n",
-			stats.Percentile(vals, 50), stats.Percentile(vals, 90), stats.Percentile(vals, 99))
+			sel.Percentile(50), sel.Percentile(90), sel.Percentile(99))
+		stats.PutSelector(sel)
 	}
 	if len(s.TypeCounts) > 0 {
 		var total int64

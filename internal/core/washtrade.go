@@ -162,11 +162,17 @@ type ConcentrationStats struct {
 }
 
 // Concentration computes Gini and top-k share over per-account activity.
+// Both statistics read one shared sorted view of the input instead of each
+// re-copying and re-sorting it.
 func Concentration(perAccount []float64, k int) ConcentrationStats {
-	return ConcentrationStats{
+	sel := stats.GetSelector()
+	sel.Load(perAccount)
+	out := ConcentrationStats{
 		Accounts:  len(perAccount),
-		Gini:      stats.Gini(perAccount),
-		TopKShare: stats.TopShare(perAccount, k),
+		Gini:      sel.Gini(),
+		TopKShare: sel.TopShare(k),
 		K:         k,
 	}
+	stats.PutSelector(sel)
+	return out
 }

@@ -1,0 +1,54 @@
+// Package prof wires the standard pprof profilers into CLI flags, so perf
+// PRs can attach CPU and heap evidence gathered from real cmd/report and
+// cmd/crawl runs instead of micro-benchmarks alone.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and arranges a
+// heap profile at memPath (when non-empty). The returned stop function
+// finalizes both files and must be called exactly once; it is a no-op when
+// neither path was given.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: creating heap profile: %w", err)
+			}
+			// An up-to-date heap picture, not one stale since the last GC.
+			runtime.GC()
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if werr != nil {
+				return fmt.Errorf("prof: writing heap profile: %w", werr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("prof: closing heap profile: %w", cerr)
+			}
+		}
+		return nil
+	}, nil
+}

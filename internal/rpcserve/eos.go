@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/eos"
+	"repro/internal/wire"
 )
 
 // EOSServer serves an EOS chain over the nodeos-style RPC the paper's
@@ -115,65 +116,21 @@ type eosGetBlockRequest struct {
 }
 
 // EOSBlockJSON is the wire shape of one block, structurally close to nodeos
-// (transactions wrap a trx object carrying actions).
-type EOSBlockJSON struct {
-	BlockNum     uint32       `json:"block_num"`
-	ID           string       `json:"id"`
-	Previous     string       `json:"previous"`
-	Timestamp    string       `json:"timestamp"`
-	Producer     string       `json:"producer"`
-	Transactions []EOSTrxJSON `json:"transactions"`
-}
+// (transactions wrap a trx object carrying actions). The shapes and their
+// pooled codecs live in internal/wire; the aliases keep this package the
+// public face of the RPC surface.
+type EOSBlockJSON = wire.EOSBlockJSON
 
 // EOSTrxJSON is one transaction receipt.
-type EOSTrxJSON struct {
-	Status string `json:"status"`
-	Trx    struct {
-		ID          string `json:"id"`
-		Transaction struct {
-			Actions []EOSActionJSON `json:"actions"`
-		} `json:"transaction"`
-	} `json:"trx"`
-}
+type EOSTrxJSON = wire.EOSTrxJSON
 
 // EOSActionJSON is one action.
-type EOSActionJSON struct {
-	Account       string              `json:"account"`
-	Name          string              `json:"name"`
-	Authorization []map[string]string `json:"authorization"`
-	Data          map[string]string   `json:"data"`
-	Inline        bool                `json:"inline,omitempty"`
-}
+type EOSActionJSON = wire.EOSActionJSON
 
 // BlockToJSON converts a simulator block to its wire shape.
 func BlockToJSON(b *eos.Block) EOSBlockJSON {
-	out := EOSBlockJSON{
-		BlockNum:  b.Num,
-		ID:        b.ID.String(),
-		Previous:  b.Previous.String(),
-		Timestamp: b.Timestamp.UTC().Format("2006-01-02T15:04:05.000"),
-		Producer:  b.Producer.String(),
-	}
-	for _, tx := range b.Transactions {
-		var tj EOSTrxJSON
-		tj.Status = "executed"
-		tj.Trx.ID = tx.ID.String()
-		for _, act := range tx.Actions {
-			aj := EOSActionJSON{
-				Account: act.Account.String(),
-				Name:    act.ActionName.String(),
-				Data:    act.Data,
-				Inline:  act.Inline,
-			}
-			for _, auth := range act.Authorization {
-				aj.Authorization = append(aj.Authorization, map[string]string{
-					"actor": auth.Actor.String(), "permission": auth.Permission,
-				})
-			}
-			tj.Trx.Transaction.Actions = append(tj.Trx.Transaction.Actions, aj)
-		}
-		out.Transactions = append(out.Transactions, tj)
-	}
+	var out EOSBlockJSON
+	wire.EOSWireBlock(b, &out)
 	return out
 }
 
@@ -193,7 +150,17 @@ func (s *EOSServer) getBlock(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("block %d not found", num))
 		return
 	}
-	writeJSON(w, BlockToJSON(blk))
+	// The get_block hot path: convert into an arena block and hand-encode
+	// from pooled buffers — no reflection, no per-request garbage.
+	jb := wire.GetEOSBlock()
+	wire.EOSWireBlock(blk, jb)
+	c := wire.GetCodec()
+	buf := wire.GetBuffer()
+	buf.B = c.AppendEOSBlock(buf.B, jb)
+	writeRaw(w, buf)
+	wire.PutBuffer(buf)
+	wire.PutCodec(c)
+	wire.PutEOSBlock(jb)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -202,6 +169,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 		// Connection-level failure; headers are already gone.
 		return
 	}
+}
+
+// writeRaw sends a pooled buffer of pre-encoded JSON with the trailing
+// newline writeJSON's json.Encoder always appended, so both paths stay
+// byte-compatible. The buffer remains caller-owned.
+func writeRaw(w http.ResponseWriter, buf *wire.Buffer) {
+	buf.B = append(buf.B, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.B)
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

@@ -3,9 +3,9 @@ package rpcserve
 import (
 	"net/http"
 	"strconv"
-	"time"
 
 	"repro/internal/tezos"
+	"repro/internal/wire"
 )
 
 // TezosServer serves a Tezos chain over the octez-style REST RPC:
@@ -69,65 +69,21 @@ func (s *TezosServer) periods(w http.ResponseWriter, r *http.Request) {
 func (s *TezosServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // TezosBlockJSON is the wire shape of one block: a header plus operations.
-type TezosBlockJSON struct {
-	Level       int64                `json:"level"`
-	Hash        string               `json:"hash"`
-	Predecessor string               `json:"predecessor"`
-	Timestamp   string               `json:"timestamp"`
-	Baker       string               `json:"baker"`
-	Operations  []TezosOperationJSON `json:"operations"`
-}
+// The shape and its pooled codec live in internal/wire.
+type TezosBlockJSON = wire.TezosBlockJSON
 
 // TezosOperationJSON is one operation.
-type TezosOperationJSON struct {
-	Kind        string `json:"kind"`
-	Source      string `json:"source,omitempty"`
-	Destination string `json:"destination,omitempty"`
-	Amount      int64  `json:"amount,omitempty"`
-	Fee         int64  `json:"fee,omitempty"`
-	Level       int64  `json:"level,omitempty"`
-	SlotCount   int    `json:"slot_count,omitempty"`
-	Proposal    string `json:"proposal,omitempty"`
-	Ballot      string `json:"ballot,omitempty"`
-	Rolls       int64  `json:"rolls,omitempty"`
-	Delegate    string `json:"delegate,omitempty"`
-}
+type TezosOperationJSON = wire.TezosOperationJSON
 
 // TezosBlockToJSON converts a simulator block to its wire shape.
 func TezosBlockToJSON(b *tezos.Block) TezosBlockJSON {
-	out := TezosBlockJSON{
-		Level:       b.Level,
-		Hash:        b.Hash.String(),
-		Predecessor: b.Predecessor.String(),
-		Timestamp:   b.Timestamp.UTC().Format(time.RFC3339),
-		Baker:       string(b.Baker),
-	}
-	for _, op := range b.Operations {
-		out.Operations = append(out.Operations, TezosOperationJSON{
-			Kind:        string(op.Kind),
-			Source:      string(op.Source),
-			Destination: string(op.Destination),
-			Amount:      op.Amount,
-			Fee:         op.Fee,
-			Level:       op.Level,
-			SlotCount:   len(op.Slots),
-			Proposal:    op.Proposal,
-			Ballot:      string(op.Ballot),
-			Rolls:       op.Rolls,
-			Delegate:    string(op.Delegate),
-		})
-	}
+	var out TezosBlockJSON
+	wire.TezosWireBlock(b, &out)
 	return out
 }
 
 func (s *TezosServer) head(w http.ResponseWriter, r *http.Request) {
-	level := s.Chain.HeadLevel()
-	blk := s.Chain.GetBlock(level)
-	if blk == nil {
-		httpError(w, http.StatusNotFound, "chain is empty")
-		return
-	}
-	writeJSON(w, TezosBlockToJSON(blk))
+	s.writeBlock(w, s.Chain.HeadLevel(), "chain is empty")
 }
 
 func (s *TezosServer) block(w http.ResponseWriter, r *http.Request) {
@@ -136,10 +92,24 @@ func (s *TezosServer) block(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "level must be a positive integer")
 		return
 	}
+	s.writeBlock(w, level, "block not found")
+}
+
+// writeBlock renders one block through the pooled wire codec — the block
+// fetch hot path, free of reflection and per-request garbage.
+func (s *TezosServer) writeBlock(w http.ResponseWriter, level int64, missing string) {
 	blk := s.Chain.GetBlock(level)
 	if blk == nil {
-		httpError(w, http.StatusNotFound, "block not found")
+		httpError(w, http.StatusNotFound, missing)
 		return
 	}
-	writeJSON(w, TezosBlockToJSON(blk))
+	jb := wire.GetTezosBlock()
+	wire.TezosWireBlock(blk, jb)
+	c := wire.GetCodec()
+	buf := wire.GetBuffer()
+	buf.B = c.AppendTezosBlock(buf.B, jb)
+	writeRaw(w, buf)
+	wire.PutBuffer(buf)
+	wire.PutCodec(c)
+	wire.PutTezosBlock(jb)
 }

@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"time"
 
+	"repro/internal/wire"
 	"repro/internal/wsrpc"
 	"repro/internal/xrp"
 )
@@ -46,44 +46,15 @@ type xrpResponse struct {
 	Error  string `json:"error,omitempty"`
 }
 
-// XRPLedgerJSON is the wire shape of one closed ledger.
-type XRPLedgerJSON struct {
-	LedgerIndex  int64       `json:"ledger_index"`
-	LedgerHash   string      `json:"ledger_hash"`
-	ParentHash   string      `json:"parent_hash"`
-	CloseTime    string      `json:"close_time_human"`
-	TxCount      int         `json:"transaction_count"`
-	Transactions []XRPTxJSON `json:"transactions,omitempty"`
-}
+// XRPLedgerJSON is the wire shape of one closed ledger. The shapes and
+// their pooled codecs live in internal/wire.
+type XRPLedgerJSON = wire.XRPLedgerJSON
 
 // XRPTxJSON is one transaction with its metadata result.
-type XRPTxJSON struct {
-	Hash            string         `json:"hash"`
-	TransactionType string         `json:"TransactionType"`
-	Account         string         `json:"Account"`
-	Destination     string         `json:"Destination,omitempty"`
-	DestinationTag  uint32         `json:"DestinationTag,omitempty"`
-	Fee             int64          `json:"Fee"`
-	Sequence        uint32         `json:"Sequence"`
-	Amount          *XRPAmountJSON `json:"Amount,omitempty"`
-	TakerGets       *XRPAmountJSON `json:"TakerGets,omitempty"`
-	TakerPays       *XRPAmountJSON `json:"TakerPays,omitempty"`
-	LimitAmount     *XRPAmountJSON `json:"LimitAmount,omitempty"`
-	DeliveredAmount *XRPAmountJSON `json:"delivered_amount,omitempty"`
-	OfferSequence   uint32         `json:"OfferSequence,omitempty"`
-	Result          string         `json:"meta_TransactionResult"`
-	// Executed and RestingSequence mirror the simulator's offer metadata;
-	// rippled exposes the same information through tx metadata nodes.
-	Executed        bool   `json:"executed,omitempty"`
-	RestingSequence uint32 `json:"resting_sequence,omitempty"`
-}
+type XRPTxJSON = wire.XRPTxJSON
 
 // XRPAmountJSON carries either drops (native) or an IOU triple.
-type XRPAmountJSON struct {
-	Currency string `json:"currency"`
-	Issuer   string `json:"issuer,omitempty"`
-	Value    int64  `json:"value"`
-}
+type XRPAmountJSON = wire.XRPAmountJSON
 
 func amountJSON(a xrp.Amount) *XRPAmountJSON {
 	if a.Value == 0 && a.Currency == "" {
@@ -92,47 +63,12 @@ func amountJSON(a xrp.Amount) *XRPAmountJSON {
 	return &XRPAmountJSON{Currency: a.Currency, Issuer: string(a.Issuer), Value: a.Value}
 }
 
-// ToAmount converts back to the simulator type.
-func (j *XRPAmountJSON) ToAmount() xrp.Amount {
-	if j == nil {
-		return xrp.Amount{}
-	}
-	return xrp.Amount{Currency: j.Currency, Issuer: xrp.Address(j.Issuer), Value: j.Value}
-}
-
 // XRPLedgerToJSON converts a ledger (with transactions when expand is set).
 func XRPLedgerToJSON(l *xrp.Ledger, expand bool) XRPLedgerJSON {
-	out := XRPLedgerJSON{
-		LedgerIndex: l.Index,
-		LedgerHash:  l.Hash.String(),
-		ParentHash:  l.ParentHash.String(),
-		CloseTime:   l.CloseTime.UTC().Format(time.RFC3339),
-		TxCount:     len(l.Transactions),
-	}
-	if !expand {
-		return out
-	}
-	for i := range l.Transactions {
-		tx := &l.Transactions[i]
-		out.Transactions = append(out.Transactions, XRPTxJSON{
-			Hash:            tx.ID.String(),
-			TransactionType: string(tx.Type),
-			Account:         string(tx.Account),
-			Destination:     string(tx.Destination),
-			DestinationTag:  tx.DestinationTag,
-			Fee:             tx.Fee,
-			Sequence:        tx.Sequence,
-			Amount:          amountJSON(tx.Amount),
-			TakerGets:       amountJSON(tx.TakerGets),
-			TakerPays:       amountJSON(tx.TakerPays),
-			LimitAmount:     amountJSON(tx.LimitAmount),
-			DeliveredAmount: amountJSON(tx.DeliveredAmount),
-			OfferSequence:   tx.OfferSequence,
-			Result:          string(tx.Result),
-			Executed:        tx.Executed,
-			RestingSequence: tx.RestingSequence,
-		})
-	}
+	var out XRPLedgerJSON
+	c := wire.GetCodec()
+	c.XRPWireLedger(l, expand, &out)
+	wire.PutCodec(c)
 	return out
 }
 
@@ -149,11 +85,51 @@ func (s *XRPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if err := conn.ReadJSON(&req); err != nil {
 			return
 		}
+		// The ledger command is the crawl hot path: render it through the
+		// pooled wire codec instead of reflect-marshalling the envelope.
+		if req.Command == "ledger" {
+			handled, err := s.writeLedger(conn, req)
+			if err != nil {
+				return
+			}
+			if handled {
+				continue
+			}
+		}
 		resp := s.handle(req)
 		if err := conn.WriteJSON(resp); err != nil {
 			return
 		}
 	}
+}
+
+// writeLedger answers one ledger command allocation-free: arena ledger
+// struct, pooled codec, pooled buffer, single frame write. It reports
+// handled=false (and no error) when the request needs the reflect path —
+// error envelopes or an id shape the fast encoder does not render.
+func (s *XRPServer) writeLedger(conn *wsrpc.Conn, req xrpRequest) (handled bool, err error) {
+	index, ok := s.resolveLedgerIndex(req.LedgerIndex)
+	if !ok {
+		return false, nil
+	}
+	led := s.State.GetLedger(index)
+	if led == nil {
+		return false, nil
+	}
+	lj := wire.GetXRPLedger()
+	c := wire.GetCodec()
+	buf := wire.GetBuffer()
+	c.XRPWireLedger(led, req.Transactions && req.Expand, lj)
+	out, ok := c.AppendXRPLedgerResponse(buf.B, req.ID, lj, led.Index)
+	buf.B = out
+	if ok {
+		handled = true
+		err = conn.WriteMessage(wsrpc.OpText, buf.B)
+	}
+	wire.PutBuffer(buf)
+	wire.PutCodec(c)
+	wire.PutXRPLedger(lj)
+	return handled, err
 }
 
 func (s *XRPServer) handle(req xrpRequest) xrpResponse {

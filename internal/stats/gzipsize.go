@@ -2,6 +2,7 @@ package stats
 
 import (
 	"compress/gzip"
+	"io"
 	"sync"
 )
 
@@ -24,18 +25,29 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// NewGzipSizer returns a sizer using the default compression level.
+// sizerGzipPool recycles the deflate state behind sizers: every crawl
+// stream builds one, and the compressor's window plus hash chains dominate
+// its footprint.
+var sizerGzipPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// NewGzipSizer returns a sizer using the default compression level. Call
+// Close when done with it to recycle the compressor state.
 func NewGzipSizer() *GzipSizer {
 	s := &GzipSizer{}
-	s.zw = gzip.NewWriter(&s.counter)
+	s.zw = sizerGzipPool.Get().(*gzip.Writer)
+	s.zw.Reset(&s.counter)
 	return s
 }
 
-// Write feeds data through the compressor. It never fails.
+// Write feeds data through the compressor. It never fails; writes after
+// Close are counted raw but not compressed.
 func (s *GzipSizer) Write(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.raw += int64(len(p))
+	if s.zw == nil {
+		return len(p), nil
+	}
 	return s.zw.Write(p)
 }
 
@@ -51,15 +63,25 @@ func (s *GzipSizer) RawBytes() int64 {
 func (s *GzipSizer) CompressedBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.zw.Flush()
+	if s.zw != nil {
+		s.zw.Flush()
+	}
 	return s.counter.n
 }
 
-// Close finalizes the stream and returns the total compressed size.
+// Close finalizes the stream, recycles the compressor and returns the
+// total compressed size. The sizer must not be used afterwards.
 func (s *GzipSizer) Close() (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.zw.Close(); err != nil {
+	if s.zw == nil {
+		return s.counter.n, nil
+	}
+	err := s.zw.Close()
+	s.zw.Reset(io.Discard)
+	sizerGzipPool.Put(s.zw)
+	s.zw = nil
+	if err != nil {
 		return 0, err
 	}
 	return s.counter.n, nil

@@ -1,32 +1,19 @@
 package stats
 
-import (
-	"math"
-	"sort"
-)
+// The standalone order-statistic functions are thin wrappers over a pooled
+// Selector, so each call still costs one sort but no longer a fresh copy
+// allocation in steady state. Call sites that need several statistics over
+// the same data (the summary quantile grid, Gini + top-k concentration)
+// should hold one Selector and amortize the sort itself.
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. It returns 0 for empty input.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	if p <= 0 {
-		return sorted[0]
-	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
-	}
-	rank := p / 100 * float64(len(sorted)-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	s := GetSelector()
+	s.Load(xs)
+	v := s.Percentile(p)
+	PutSelector(s)
+	return v
 }
 
 // Gini returns the Gini coefficient of the non-negative values xs, a measure
@@ -34,46 +21,20 @@ func Percentile(xs []float64, p float64) float64 {
 // al.) tracks wealth concentration with this statistic; here it quantifies
 // how concentrated per-account traffic is.
 func Gini(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	var cum, total float64
-	for i, x := range sorted {
-		if x < 0 {
-			x = 0
-		}
-		cum += x * float64(2*(i+1)-len(sorted)-1)
-		total += x
-	}
-	if total == 0 {
-		return 0
-	}
-	return cum / (float64(len(sorted)) * total)
+	s := GetSelector()
+	s.Load(xs)
+	v := s.Gini()
+	PutSelector(s)
+	return v
 }
 
 // TopShare returns the fraction of sum(xs) contributed by the k largest
 // values. The paper reports e.g. "the 18 most active accounts are
 // responsible for half of the total traffic".
 func TopShare(xs []float64, k int) float64 {
-	if len(xs) == 0 || k <= 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
-	if k > len(sorted) {
-		k = len(sorted)
-	}
-	var top, total float64
-	for i, x := range sorted {
-		if i < k {
-			top += x
-		}
-		total += x
-	}
-	if total == 0 {
-		return 0
-	}
-	return top / total
+	s := GetSelector()
+	s.Load(xs)
+	v := s.TopShare(k)
+	PutSelector(s)
+	return v
 }

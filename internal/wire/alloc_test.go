@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// The acceptance bar for the hot path: once a codec's intern table has seen
+// a block's strings and the arena struct has grown its slices, decoding
+// further blocks of the same shape allocates nothing. These tests are the
+// regression gate for that property — any allocation creeping back into
+// the steady-state decode or encode path fails them deterministically.
+
+func eosFixture() []byte {
+	b := EOSBlockJSON{
+		BlockNum: 12345, ID: "00003039abcdef", Previous: "00003038abcdef",
+		Timestamp: "2019-10-01T00:00:00.500", Producer: "eosproducer1",
+	}
+	for i := 0; i < 8; i++ {
+		var tx EOSTrxJSON
+		tx.Status = "executed"
+		tx.Trx.ID = fmt.Sprintf("trx%08d", i)
+		tx.Trx.Transaction.Actions = []EOSActionJSON{{
+			Account: "eosio.token", Name: "transfer",
+			Authorization: []map[string]string{{"actor": "alicealice12", "permission": "active"}},
+			Data: map[string]string{
+				"from": "alicealice12", "to": "bobbobbob123",
+				"quantity": "1.0000 EOS", "memo": "hot path",
+			},
+		}}
+		b.Transactions = append(b.Transactions, tx)
+	}
+	raw, err := json.Marshal(&b)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func tezosFixture() []byte {
+	b := TezosBlockJSON{
+		Level: 654321, Hash: "BLockHash11", Predecessor: "BLockHash10",
+		Timestamp: "2019-10-01T00:00:00Z", Baker: "tz1baker",
+	}
+	for i := 0; i < 16; i++ {
+		b.Operations = append(b.Operations, TezosOperationJSON{
+			Kind: "endorsement", Source: "tz1endorser", Level: 654320, SlotCount: 2,
+		}, TezosOperationJSON{
+			Kind: "transaction", Source: "tz1alice", Destination: "tz1bob",
+			Amount: 100000, Fee: 1420,
+		})
+	}
+	raw, err := json.Marshal(&b)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func xrpFixture(envelope bool) []byte {
+	l := XRPLedgerJSON{
+		LedgerIndex: 50000000, LedgerHash: "LEDGERHASH1", ParentHash: "LEDGERHASH0",
+		CloseTime: "2019-10-01T00:00:00Z", TxCount: 8,
+	}
+	for i := 0; i < 8; i++ {
+		l.Transactions = append(l.Transactions, XRPTxJSON{
+			Hash: "TXHASH", TransactionType: "Payment", Account: "rAlice",
+			Destination: "rBob", DestinationTag: 7, Fee: 10, Sequence: uint32(42),
+			Amount: &XRPAmountJSON{Currency: "XRP", Value: 1000000},
+			Result: "tesSUCCESS",
+		})
+	}
+	raw, err := json.Marshal(&l)
+	if err != nil {
+		panic(err)
+	}
+	if envelope {
+		env := struct {
+			Ledger      json.RawMessage `json:"ledger"`
+			LedgerIndex int64           `json:"ledger_index"`
+			Validated   bool            `json:"validated"`
+		}{raw, l.LedgerIndex, true}
+		raw, err = json.Marshal(env)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return raw
+}
+
+// pinZeroAllocs warms the codec once, then requires exactly zero
+// allocations per run.
+func pinZeroAllocs(t *testing.T, name string, warm func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(200, warm); allocs != 0 {
+		t.Errorf("%s: %.1f allocs/op in steady state, want 0", name, allocs)
+	}
+}
+
+func TestDecodeSteadyStateZeroAllocs(t *testing.T) {
+	c := NewCodec()
+
+	eosRaw := eosFixture()
+	eosBlock := GetEOSBlock()
+	defer PutEOSBlock(eosBlock)
+	pinZeroAllocs(t, "DecodeEOSBlock", func() {
+		if err := c.DecodeEOSBlock(eosRaw, eosBlock); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	tezosRaw := tezosFixture()
+	tezosBlock := GetTezosBlock()
+	defer PutTezosBlock(tezosBlock)
+	pinZeroAllocs(t, "DecodeTezosBlock", func() {
+		if err := c.DecodeTezosBlock(tezosRaw, tezosBlock); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	xrpRaw := xrpFixture(false)
+	ledger := GetXRPLedger()
+	defer PutXRPLedger(ledger)
+	pinZeroAllocs(t, "DecodeXRPLedger", func() {
+		if err := c.DecodeXRPLedger(xrpRaw, ledger); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	envRaw := xrpFixture(true)
+	pinZeroAllocs(t, "DecodeXRPLedgerResult", func() {
+		if err := c.DecodeXRPLedgerResult(envRaw, ledger); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestEncodeSteadyStateZeroAllocs(t *testing.T) {
+	c := NewCodec()
+
+	var eosBlock EOSBlockJSON
+	if err := c.DecodeEOSBlock(eosFixture(), &eosBlock); err != nil {
+		t.Fatal(err)
+	}
+	var tezosBlock TezosBlockJSON
+	if err := c.DecodeTezosBlock(tezosFixture(), &tezosBlock); err != nil {
+		t.Fatal(err)
+	}
+	var ledger XRPLedgerJSON
+	if err := c.DecodeXRPLedger(xrpFixture(false), &ledger); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	pinZeroAllocs(t, "AppendEOSBlock", func() {
+		buf.B = c.AppendEOSBlock(buf.B[:0], &eosBlock)
+	})
+	pinZeroAllocs(t, "AppendTezosBlock", func() {
+		buf.B = c.AppendTezosBlock(buf.B[:0], &tezosBlock)
+	})
+	pinZeroAllocs(t, "AppendXRPLedger", func() {
+		buf.B = c.AppendXRPLedger(buf.B[:0], &ledger)
+	})
+	pinZeroAllocs(t, "AppendXRPLedgerResponse", func() {
+		out, ok := c.AppendXRPLedgerResponse(buf.B[:0], 7, &ledger, ledger.LedgerIndex)
+		if !ok {
+			t.Fatal("fast-path id rejected")
+		}
+		buf.B = out
+	})
+}

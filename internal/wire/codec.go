@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"sync"
+)
+
+// maxInternEntries caps a codec's intern table. Hot strings (account and
+// action names, producers, statuses, operation kinds) recur from the first
+// blocks onward and stay interned; once unique strings (block hashes,
+// transaction IDs) have filled the table, further unique strings simply
+// allocate instead of growing it.
+const maxInternEntries = 1 << 16
+
+// Codec holds the reusable state for one encode/decode stream: the JSON
+// lexer with its unescape scratch, an intern table that makes repeated
+// strings allocation-free to decode, and the sorted-key scratch the
+// encoders need to render maps exactly as encoding/json does. A Codec is
+// not safe for concurrent use; recycle through GetCodec/PutCodec.
+type Codec struct {
+	lex    lexer
+	intern map[string]string
+	keys   []string
+	// amounts is a free list of XRP amount structs recycled between the
+	// transactions of successive ledger decodes.
+	amounts []*XRPAmountJSON
+}
+
+// NewCodec returns a fresh codec with an empty intern table.
+func NewCodec() *Codec {
+	return &Codec{intern: make(map[string]string)}
+}
+
+var codecPool = sync.Pool{New: func() any { return NewCodec() }}
+
+// GetCodec takes a codec from the pool. Codecs keep their intern tables
+// across uses, so a recycled codec decodes recurring strings without
+// allocating.
+func GetCodec() *Codec { return codecPool.Get().(*Codec) }
+
+// PutCodec returns a codec to the pool.
+func PutCodec(c *Codec) {
+	c.lex.data = nil
+	codecPool.Put(c)
+}
+
+// str copies b into an owned string, interning it so the next occurrence
+// costs a map hit instead of an allocation.
+func (c *Codec) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := c.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(c.intern) < maxInternEntries {
+		c.intern[s] = s
+	}
+	return s
+}
+
+// Struct arenas: one pool per chain block shape. Get hands out a struct
+// whose slices and maps keep the capacity earlier uses grew; the decoders
+// and converters reset lengths and clear maps as they fill, so a recycled
+// struct is indistinguishable from a fresh one field-wise while the
+// steady-state decode path allocates nothing.
+
+var (
+	eosBlockPool   = sync.Pool{New: func() any { return new(EOSBlockJSON) }}
+	tezosBlockPool = sync.Pool{New: func() any { return new(TezosBlockJSON) }}
+	xrpLedgerPool  = sync.Pool{New: func() any { return new(XRPLedgerJSON) }}
+)
+
+// GetEOSBlock takes a reusable block struct from the arena.
+func GetEOSBlock() *EOSBlockJSON { return eosBlockPool.Get().(*EOSBlockJSON) }
+
+// PutEOSBlock returns a block to the arena. The caller must hold no
+// references to the struct, its slices or its maps afterwards; strings
+// extracted from it remain valid.
+func PutEOSBlock(b *EOSBlockJSON) {
+	if b != nil {
+		eosBlockPool.Put(b)
+	}
+}
+
+// GetTezosBlock takes a reusable block struct from the arena.
+func GetTezosBlock() *TezosBlockJSON { return tezosBlockPool.Get().(*TezosBlockJSON) }
+
+// PutTezosBlock returns a block to the arena.
+func PutTezosBlock(b *TezosBlockJSON) {
+	if b != nil {
+		tezosBlockPool.Put(b)
+	}
+}
+
+// GetXRPLedger takes a reusable ledger struct from the arena.
+func GetXRPLedger() *XRPLedgerJSON { return xrpLedgerPool.Get().(*XRPLedgerJSON) }
+
+// PutXRPLedger returns a ledger to the arena.
+func PutXRPLedger(l *XRPLedgerJSON) {
+	if l != nil {
+		xrpLedgerPool.Put(l)
+	}
+}
+
+// Buffer is a pooled byte buffer for encoders and response writers.
+type Buffer struct{ B []byte }
+
+var bufferPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 8192)} }}
+
+// maxPooledBuffer drops oversized buffers instead of pinning their memory
+// in the pool.
+const maxPooledBuffer = 4 << 20
+
+// GetBuffer takes an empty buffer from the pool.
+func GetBuffer() *Buffer {
+	buf := bufferPool.Get().(*Buffer)
+	buf.B = buf.B[:0]
+	return buf
+}
+
+// PutBuffer returns a buffer to the pool.
+func PutBuffer(buf *Buffer) {
+	if buf == nil || cap(buf.B) > maxPooledBuffer {
+		return
+	}
+	bufferPool.Put(buf)
+}
+
+// Raw payload recycling: fetch clients read block payloads into these
+// buffers, the stream hands them to the consumer inside a collect.Block,
+// and Block.Release returns them here once decoding extracted everything —
+// the zero-copy transport loop of the hot path.
+
+var rawPool sync.Pool
+
+const (
+	minPooledRaw = 256
+	maxPooledRaw = 4 << 20
+)
+
+// GetRaw returns an empty byte slice with recycled capacity.
+func GetRaw() []byte {
+	if p, ok := rawPool.Get().(*[]byte); ok {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, 16<<10)
+}
+
+// PutRaw recycles a payload buffer. The caller must be its only holder.
+// The boxed slice header it costs is ~500x smaller than the payload
+// allocation it saves.
+func PutRaw(b []byte) {
+	if cap(b) < minPooledRaw || cap(b) > maxPooledRaw {
+		return
+	}
+	rawPool.Put(&b)
+}

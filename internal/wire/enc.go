@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"slices"
+	"strconv"
+	"unicode/utf8"
+)
+
+// appendJSONString renders s exactly as encoding/json does with its default
+// HTML escaping: ", \ and control characters escaped (\b, \f, \n, \r, \t
+// short forms), <, > and & as \u00XX, invalid UTF-8 as �, and
+// U+2028/U+2029 escaped for JavaScript embedding.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control characters and the HTML trio <, >, &.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe marks ASCII bytes encoding/json emits verbatim inside strings.
+var jsonSafe = func() (t [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		t[b] = b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+	}
+	return
+}()
+
+// appendKey renders `,"key":` — keys here are compile-time literals that
+// never need escaping (every struct's first key is emitted inline by its
+// encoder, so the comma is unconditional).
+func appendKey(dst []byte, key string) []byte {
+	dst = append(dst, ',', '"')
+	dst = append(dst, key...)
+	return append(dst, '"', ':')
+}
+
+// appendStringMap renders a map[string]string with sorted keys, matching
+// encoding/json's canonical map ordering. A nil map renders as null.
+func (c *Codec) appendStringMap(dst []byte, m map[string]string) []byte {
+	if m == nil {
+		return append(dst, "null"...)
+	}
+	c.keys = c.keys[:0]
+	for k := range m {
+		c.keys = append(c.keys, k)
+	}
+	slices.Sort(c.keys)
+	dst = append(dst, '{')
+	for i, k := range c.keys {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, k)
+		dst = append(dst, ':')
+		dst = appendJSONString(dst, m[k])
+	}
+	return append(dst, '}')
+}
+
+func appendInt(dst []byte, n int64) []byte   { return strconv.AppendInt(dst, n, 10) }
+func appendUint(dst []byte, n uint64) []byte { return strconv.AppendUint(dst, n, 10) }

@@ -1,0 +1,527 @@
+package wire
+
+import "encoding/json"
+
+// AppendEOSBlock renders b as nodeos-style block JSON, byte-identical to
+// encoding/json.Marshal of the same struct, appending to dst.
+func (c *Codec) AppendEOSBlock(dst []byte, b *EOSBlockJSON) []byte {
+	dst = append(dst, `{"block_num":`...)
+	dst = appendUint(dst, uint64(b.BlockNum))
+	dst = appendKey(dst, "id")
+	dst = appendJSONString(dst, b.ID)
+	dst = appendKey(dst, "previous")
+	dst = appendJSONString(dst, b.Previous)
+	dst = appendKey(dst, "timestamp")
+	dst = appendJSONString(dst, b.Timestamp)
+	dst = appendKey(dst, "producer")
+	dst = appendJSONString(dst, b.Producer)
+	dst = appendKey(dst, "transactions")
+	if b.Transactions == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i := range b.Transactions {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = c.appendEOSTrx(dst, &b.Transactions[i])
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
+func (c *Codec) appendEOSTrx(dst []byte, t *EOSTrxJSON) []byte {
+	dst = append(dst, `{"status":`...)
+	dst = appendJSONString(dst, t.Status)
+	dst = append(dst, `,"trx":{"id":`...)
+	dst = appendJSONString(dst, t.Trx.ID)
+	dst = append(dst, `,"transaction":{"actions":`...)
+	if t.Trx.Transaction.Actions == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i := range t.Trx.Transaction.Actions {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = c.appendEOSAction(dst, &t.Trx.Transaction.Actions[i])
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}', '}', '}')
+}
+
+func (c *Codec) appendEOSAction(dst []byte, a *EOSActionJSON) []byte {
+	dst = append(dst, `{"account":`...)
+	dst = appendJSONString(dst, a.Account)
+	dst = appendKey(dst, "name")
+	dst = appendJSONString(dst, a.Name)
+	dst = appendKey(dst, "authorization")
+	if a.Authorization == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, m := range a.Authorization {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = c.appendStringMap(dst, m)
+		}
+		dst = append(dst, ']')
+	}
+	dst = appendKey(dst, "data")
+	dst = c.appendStringMap(dst, a.Data)
+	if a.Inline {
+		dst = append(dst, `,"inline":true`...)
+	}
+	return append(dst, '}')
+}
+
+// DecodeEOSBlock parses raw into the (typically pooled) block struct,
+// reusing its transaction and action capacity. Unknown fields are skipped
+// and field order is free, matching encoding/json semantics; payloads the
+// fast scanner cannot handle fall back to encoding/json transparently.
+func (c *Codec) DecodeEOSBlock(raw []byte, into *EOSBlockJSON) error {
+	if err := c.decodeEOSBlock(raw, into); err != nil {
+		// Fallback: start from a zero struct (dropping pooled capacity —
+		// rare) and let the reflection decoder be the judge, so anything
+		// encoding/json accepts (exotic numbers, deep nesting) still
+		// decodes with fresh-struct semantics. Its verdict, success or
+		// error, is final.
+		*into = EOSBlockJSON{}
+		return json.Unmarshal(raw, into)
+	}
+	return nil
+}
+
+// Canonical field-name sets, used to detect non-canonically cased keys
+// (which must take the stdlib fallback for encoding/json's
+// case-insensitive matching).
+var (
+	eosBlockFields  = []string{"block_num", "id", "previous", "timestamp", "producer", "transactions"}
+	eosTrxFields    = []string{"status", "trx"}
+	eosInnerFields  = []string{"id", "transaction"}
+	eosTxnFields    = []string{"actions"}
+	eosActionFields = []string{"account", "name", "inline", "authorization", "data"}
+)
+
+func resetEOSBlock(b *EOSBlockJSON) {
+	b.BlockNum = 0
+	b.ID, b.Previous, b.Timestamp, b.Producer = "", "", "", ""
+	b.Transactions = b.Transactions[:0]
+}
+
+func (c *Codec) decodeEOSBlock(raw []byte, into *EOSBlockJSON) error {
+	l := &c.lex
+	l.reset(raw)
+	resetEOSBlock(into)
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	if l.tryConsume('}') {
+		return l.trailing()
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "block_num":
+			if !l.tryNull() {
+				n, err := l.readUint32()
+				if err != nil {
+					return err
+				}
+				into.BlockNum = n
+			}
+		case "id":
+			if err := c.decodeStr(&into.ID); err != nil {
+				return err
+			}
+		case "previous":
+			if err := c.decodeStr(&into.Previous); err != nil {
+				return err
+			}
+		case "timestamp":
+			if err := c.decodeStr(&into.Timestamp); err != nil {
+				return err
+			}
+		case "producer":
+			if err := c.decodeStr(&into.Producer); err != nil {
+				return err
+			}
+		case "transactions":
+			if l.tryNull() {
+				break
+			}
+			if err := l.expect('['); err != nil {
+				return err
+			}
+			if into.Transactions == nil {
+				into.Transactions = make([]EOSTrxJSON, 0, 8)
+			}
+			if !l.tryConsume(']') {
+				for {
+					var t *EOSTrxJSON
+					into.Transactions, t = growEOSTrx(into.Transactions)
+					if err := c.decodeEOSTrx(t); err != nil {
+						return err
+					}
+					if l.tryConsume(',') {
+						continue
+					}
+					if err := l.expect(']'); err != nil {
+						return err
+					}
+					break
+				}
+			}
+		default:
+			if err := l.foldedField(key, eosBlockFields); err != nil {
+				return err
+			}
+			if err := l.skipValue(0); err != nil {
+				return err
+			}
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		if err := l.expect('}'); err != nil {
+			return err
+		}
+		return l.trailing()
+	}
+}
+
+// growEOSTrx extends s by one element, reviving capacity left by earlier
+// uses (the revived element's action slice keeps its backing array).
+func growEOSTrx(s []EOSTrxJSON) ([]EOSTrxJSON, *EOSTrxJSON) {
+	if len(s) < cap(s) {
+		s = s[:len(s)+1]
+	} else {
+		s = append(s, EOSTrxJSON{})
+	}
+	t := &s[len(s)-1]
+	t.Status = ""
+	t.Trx.ID = ""
+	t.Trx.Transaction.Actions = t.Trx.Transaction.Actions[:0]
+	return s, t
+}
+
+func (c *Codec) decodeEOSTrx(t *EOSTrxJSON) error {
+	l := &c.lex
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	if l.tryConsume('}') {
+		return nil
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "status":
+			if err := c.decodeStr(&t.Status); err != nil {
+				return err
+			}
+		case "trx":
+			if err := c.decodeEOSTrxInner(t); err != nil {
+				return err
+			}
+		default:
+			if err := l.foldedField(key, eosTrxFields); err != nil {
+				return err
+			}
+			if err := l.skipValue(0); err != nil {
+				return err
+			}
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		return l.expect('}')
+	}
+}
+
+func (c *Codec) decodeEOSTrxInner(t *EOSTrxJSON) error {
+	l := &c.lex
+	if l.tryNull() {
+		return nil
+	}
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	if l.tryConsume('}') {
+		return nil
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "id":
+			if err := c.decodeStr(&t.Trx.ID); err != nil {
+				return err
+			}
+		case "transaction":
+			if err := c.decodeEOSActions(t); err != nil {
+				return err
+			}
+		default:
+			if err := l.foldedField(key, eosInnerFields); err != nil {
+				return err
+			}
+			if err := l.skipValue(0); err != nil {
+				return err
+			}
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		return l.expect('}')
+	}
+}
+
+func (c *Codec) decodeEOSActions(t *EOSTrxJSON) error {
+	l := &c.lex
+	if l.tryNull() {
+		return nil
+	}
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	if l.tryConsume('}') {
+		return nil
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		if string(key) != "actions" {
+			if err := l.foldedField(key, eosTxnFields); err != nil {
+				return err
+			}
+			if err := l.skipValue(0); err != nil {
+				return err
+			}
+		} else if !l.tryNull() {
+			if err := l.expect('['); err != nil {
+				return err
+			}
+			if t.Trx.Transaction.Actions == nil {
+				t.Trx.Transaction.Actions = make([]EOSActionJSON, 0, 4)
+			}
+			if !l.tryConsume(']') {
+				for {
+					var a *EOSActionJSON
+					t.Trx.Transaction.Actions, a = growEOSAction(t.Trx.Transaction.Actions)
+					if err := c.decodeEOSAction(a); err != nil {
+						return err
+					}
+					if l.tryConsume(',') {
+						continue
+					}
+					if err := l.expect(']'); err != nil {
+						return err
+					}
+					break
+				}
+			}
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		return l.expect('}')
+	}
+}
+
+func growEOSAction(s []EOSActionJSON) ([]EOSActionJSON, *EOSActionJSON) {
+	if len(s) < cap(s) {
+		s = s[:len(s)+1]
+	} else {
+		s = append(s, EOSActionJSON{})
+	}
+	a := &s[len(s)-1]
+	a.Account, a.Name = "", ""
+	a.Inline = false
+	a.Authorization = a.Authorization[:0]
+	if a.Data != nil {
+		clear(a.Data)
+	}
+	return s, a
+}
+
+func (c *Codec) decodeEOSAction(a *EOSActionJSON) error {
+	l := &c.lex
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	if l.tryConsume('}') {
+		return nil
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "account":
+			if err := c.decodeStr(&a.Account); err != nil {
+				return err
+			}
+		case "name":
+			if err := c.decodeStr(&a.Name); err != nil {
+				return err
+			}
+		case "inline":
+			if !l.tryNull() {
+				v, err := l.readBool()
+				if err != nil {
+					return err
+				}
+				a.Inline = v
+			}
+		case "authorization":
+			if l.tryNull() {
+				break
+			}
+			if err := l.expect('['); err != nil {
+				return err
+			}
+			if a.Authorization == nil {
+				a.Authorization = make([]map[string]string, 0, 1)
+			}
+			if !l.tryConsume(']') {
+				for i := 0; ; i++ {
+					// Revive a map left by an earlier use when capacity
+					// allows; decodeStringMap clears it before filling.
+					var m map[string]string
+					if cap(a.Authorization) > i {
+						a.Authorization = a.Authorization[:i+1]
+						m = a.Authorization[i]
+					}
+					m, err := c.decodeStringMap(m)
+					if err != nil {
+						return err
+					}
+					if len(a.Authorization) > i {
+						a.Authorization[i] = m
+					} else {
+						a.Authorization = append(a.Authorization, m)
+					}
+					if l.tryConsume(',') {
+						continue
+					}
+					if err := l.expect(']'); err != nil {
+						return err
+					}
+					break
+				}
+			}
+		case "data":
+			m, err := c.decodeStringMapOrNull(a.Data)
+			if err != nil {
+				return err
+			}
+			a.Data = m
+		default:
+			if err := l.foldedField(key, eosActionFields); err != nil {
+				return err
+			}
+			if err := l.skipValue(0); err != nil {
+				return err
+			}
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		return l.expect('}')
+	}
+}
+
+// decodeStr reads a string (or null) into dst, interned.
+func (c *Codec) decodeStr(dst *string) error {
+	if c.lex.tryNull() {
+		return nil
+	}
+	b, err := c.lex.readString()
+	if err != nil {
+		return err
+	}
+	*dst = c.str(b)
+	return nil
+}
+
+// decodeStringMap parses an object of string values into m, reusing it when
+// non-nil (cleared first).
+func (c *Codec) decodeStringMap(m map[string]string) (map[string]string, error) {
+	l := &c.lex
+	if err := l.expect('{'); err != nil {
+		return m, err
+	}
+	if m == nil {
+		m = make(map[string]string, 4)
+	} else {
+		clear(m)
+	}
+	if l.tryConsume('}') {
+		return m, nil
+	}
+	for {
+		kb, err := l.readString()
+		if err != nil {
+			return m, err
+		}
+		k := c.str(kb)
+		if err := l.expect(':'); err != nil {
+			return m, err
+		}
+		if l.tryNull() {
+			m[k] = ""
+		} else {
+			vb, err := l.readString()
+			if err != nil {
+				return m, err
+			}
+			m[k] = c.str(vb)
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		return m, l.expect('}')
+	}
+}
+
+// decodeStringMapOrNull is decodeStringMap but tolerating a null value: the
+// reused map is cleared (a fresh struct keeps nil, matching encoding/json).
+func (c *Codec) decodeStringMapOrNull(m map[string]string) (map[string]string, error) {
+	if c.lex.tryNull() {
+		if m != nil {
+			clear(m)
+		}
+		return m, nil
+	}
+	return c.decodeStringMap(m)
+}

@@ -1,0 +1,450 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// lexer is a minimal allocation-free JSON scanner over one payload. It
+// implements exactly the subset the wire shapes need — objects, arrays,
+// strings (with full escape handling), integers, booleans and null — plus a
+// generic skipper for unknown fields, so field order and extra fields are
+// handled the way encoding/json handles them. Byte views returned by
+// readString are valid only until the next readString call (escaped strings
+// unescape into a shared scratch buffer); callers must copy (usually via
+// the codec's intern table) before the next token.
+type lexer struct {
+	data    []byte
+	pos     int
+	scratch []byte
+}
+
+func (l *lexer) reset(data []byte) {
+	l.data = data
+	l.pos = 0
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("wire: offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipWS() {
+	for l.pos < len(l.data) {
+		switch l.data[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+// peek returns the first byte of the next token (0 at EOF).
+func (l *lexer) peek() byte {
+	l.skipWS()
+	if l.pos >= len(l.data) {
+		return 0
+	}
+	return l.data[l.pos]
+}
+
+// expect consumes the next token byte, which must be c.
+func (l *lexer) expect(c byte) error {
+	l.skipWS()
+	if l.pos >= len(l.data) || l.data[l.pos] != c {
+		return l.errf("expected %q", string(c))
+	}
+	l.pos++
+	return nil
+}
+
+// tryConsume consumes c if it is the next token byte.
+func (l *lexer) tryConsume(c byte) bool {
+	l.skipWS()
+	if l.pos < len(l.data) && l.data[l.pos] == c {
+		l.pos++
+		return true
+	}
+	return false
+}
+
+// lit consumes the literal s (after leading whitespace).
+func (l *lexer) lit(s string) error {
+	l.skipWS()
+	if len(l.data)-l.pos < len(s) || string(l.data[l.pos:l.pos+len(s)]) != s {
+		return l.errf("expected %s", s)
+	}
+	l.pos += len(s)
+	return nil
+}
+
+// tryNull consumes a null literal if present.
+func (l *lexer) tryNull() bool {
+	if l.peek() == 'n' {
+		return l.lit("null") == nil
+	}
+	return false
+}
+
+// readString returns the next string's bytes: a view into the payload when
+// it holds no escapes, or into the lexer's scratch buffer otherwise.
+func (l *lexer) readString() ([]byte, error) {
+	if err := l.expect('"'); err != nil {
+		return nil, err
+	}
+	start := l.pos
+	// Fast path: scan for the closing quote with no escapes.
+	for l.pos < len(l.data) {
+		c := l.data[l.pos]
+		if c == '"' {
+			b := l.data[start:l.pos]
+			l.pos++
+			return b, nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+		l.pos++
+	}
+	// Slow path: unescape into scratch.
+	l.scratch = l.scratch[:0]
+	l.scratch = append(l.scratch, l.data[start:l.pos]...)
+	for l.pos < len(l.data) {
+		c := l.data[l.pos]
+		switch {
+		case c == '"':
+			l.pos++
+			return l.scratch, nil
+		case c < 0x20:
+			return nil, l.errf("control character in string")
+		case c != '\\':
+			l.scratch = append(l.scratch, c)
+			l.pos++
+		default:
+			l.pos++
+			if l.pos >= len(l.data) {
+				return nil, l.errf("truncated escape")
+			}
+			e := l.data[l.pos]
+			l.pos++
+			switch e {
+			case '"', '\\', '/':
+				l.scratch = append(l.scratch, e)
+			case 'b':
+				l.scratch = append(l.scratch, '\b')
+			case 'f':
+				l.scratch = append(l.scratch, '\f')
+			case 'n':
+				l.scratch = append(l.scratch, '\n')
+			case 'r':
+				l.scratch = append(l.scratch, '\r')
+			case 't':
+				l.scratch = append(l.scratch, '\t')
+			case 'u':
+				r, err := l.readHex4()
+				if err != nil {
+					return nil, err
+				}
+				if utf16.IsSurrogate(r) {
+					// A surrogate may pair with an immediately following
+					// \uXXXX. Peek it without consuming: on a failed pair,
+					// encoding/json emits one replacement char and
+					// re-scans the second escape on its own — consuming it
+					// here would decode differently.
+					if r2, ok := l.peekEscapedHex4(); ok {
+						if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+							l.pos += 6
+							r = dec
+						} else {
+							r = utf8.RuneError
+						}
+					} else {
+						r = utf8.RuneError
+					}
+				}
+				l.scratch = utf8.AppendRune(l.scratch, r)
+			default:
+				return nil, l.errf("bad escape \\%c", e)
+			}
+		}
+	}
+	return nil, l.errf("unterminated string")
+}
+
+// peekEscapedHex4 reads a \uXXXX escape starting at pos without consuming
+// it, reporting false when the next bytes are not a well-formed escape.
+func (l *lexer) peekEscapedHex4() (rune, bool) {
+	if len(l.data)-l.pos < 6 || l.data[l.pos] != '\\' || l.data[l.pos+1] != 'u' {
+		return 0, false
+	}
+	var r rune
+	for i := 2; i < 6; i++ {
+		c := l.data[l.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, false
+		}
+	}
+	return r, true
+}
+
+// readHex4 parses four hex digits at pos.
+func (l *lexer) readHex4() (rune, error) {
+	if len(l.data)-l.pos < 4 {
+		return 0, l.errf("truncated \\u escape")
+	}
+	var r rune
+	for i := 0; i < 4; i++ {
+		c := l.data[l.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, l.errf("bad \\u escape")
+		}
+	}
+	l.pos += 4
+	return r, nil
+}
+
+// readInt64 parses a plain integer token. Fractional or exponent forms fail
+// here exactly as encoding/json fails to unmarshal them into an int64.
+func (l *lexer) readInt64() (int64, error) {
+	l.skipWS()
+	start := l.pos
+	neg := false
+	if l.pos < len(l.data) && l.data[l.pos] == '-' {
+		neg = true
+		l.pos++
+	}
+	// Accumulate in the negative domain so MinInt64 parses.
+	var n int64
+	digits := 0
+	first := l.pos
+	for l.pos < len(l.data) {
+		c := l.data[l.pos]
+		if c < '0' || c > '9' {
+			break
+		}
+		d := int64(c - '0')
+		if n < (math.MinInt64+d)/10 {
+			return 0, l.errf("integer overflow")
+		}
+		n = n*10 - d
+		digits++
+		l.pos++
+	}
+	if digits == 0 {
+		l.pos = start
+		return 0, l.errf("expected integer")
+	}
+	if digits > 1 && l.data[first] == '0' {
+		// JSON forbids leading zeros; stay as strict as encoding/json so
+		// corrupt payloads fail loudly instead of decoding quietly.
+		l.pos = start
+		return 0, l.errf("leading zero in number")
+	}
+	if l.pos < len(l.data) {
+		switch l.data[l.pos] {
+		case '.', 'e', 'E':
+			l.pos = start
+			return 0, l.errf("non-integer number")
+		}
+	}
+	if neg {
+		return n, nil
+	}
+	if n == math.MinInt64 {
+		return 0, l.errf("integer overflow")
+	}
+	return -n, nil
+}
+
+// readUint32 parses an integer and range-checks it like encoding/json does
+// for uint32 fields.
+func (l *lexer) readUint32() (uint32, error) {
+	n, err := l.readInt64()
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || n > math.MaxUint32 {
+		return 0, l.errf("number out of uint32 range")
+	}
+	return uint32(n), nil
+}
+
+// readBool parses true or false.
+func (l *lexer) readBool() (bool, error) {
+	switch l.peek() {
+	case 't':
+		return true, l.lit("true")
+	case 'f':
+		return false, l.lit("false")
+	}
+	return false, l.errf("expected boolean")
+}
+
+// maxSkipDepth bounds skipValue recursion; encoding/json enforces a
+// comparable nesting limit.
+const maxSkipDepth = 200
+
+// skipValue consumes one JSON value of any shape.
+func (l *lexer) skipValue(depth int) error {
+	if depth > maxSkipDepth {
+		return l.errf("value nested too deeply")
+	}
+	switch l.peek() {
+	case '"':
+		_, err := l.readString()
+		return err
+	case '{':
+		l.pos++
+		if l.tryConsume('}') {
+			return nil
+		}
+		for {
+			if _, err := l.readString(); err != nil {
+				return err
+			}
+			if err := l.expect(':'); err != nil {
+				return err
+			}
+			if err := l.skipValue(depth + 1); err != nil {
+				return err
+			}
+			if l.tryConsume(',') {
+				continue
+			}
+			return l.expect('}')
+		}
+	case '[':
+		l.pos++
+		if l.tryConsume(']') {
+			return nil
+		}
+		for {
+			if err := l.skipValue(depth + 1); err != nil {
+				return err
+			}
+			if l.tryConsume(',') {
+				continue
+			}
+			return l.expect(']')
+		}
+	case 't':
+		return l.lit("true")
+	case 'f':
+		return l.lit("false")
+	case 'n':
+		return l.lit("null")
+	case '-', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9':
+		return l.skipNumber()
+	case 0:
+		return l.errf("unexpected end of input")
+	default:
+		return l.errf("unexpected character %q", string(l.data[l.pos]))
+	}
+}
+
+// skipNumber consumes a full JSON number token, enforcing the RFC 8259
+// grammar (no leading zeros, digits required after '.' and the exponent
+// sign) exactly as encoding/json does, so corruption in skipped fields
+// still fails the decode.
+func (l *lexer) skipNumber() error {
+	digits := func() int {
+		n := 0
+		for l.pos < len(l.data) && l.data[l.pos] >= '0' && l.data[l.pos] <= '9' {
+			l.pos++
+			n++
+		}
+		return n
+	}
+	if l.pos < len(l.data) && l.data[l.pos] == '-' {
+		l.pos++
+	}
+	switch {
+	case l.pos >= len(l.data):
+		return l.errf("truncated number")
+	case l.data[l.pos] == '0':
+		l.pos++
+	default:
+		if digits() == 0 {
+			return l.errf("expected number")
+		}
+	}
+	if l.pos < len(l.data) && l.data[l.pos] == '.' {
+		l.pos++
+		if digits() == 0 {
+			return l.errf("digits required after decimal point")
+		}
+	}
+	if l.pos < len(l.data) && (l.data[l.pos] == 'e' || l.data[l.pos] == 'E') {
+		l.pos++
+		if l.pos < len(l.data) && (l.data[l.pos] == '+' || l.data[l.pos] == '-') {
+			l.pos++
+		}
+		if digits() == 0 {
+			return l.errf("digits required in exponent")
+		}
+	}
+	return nil
+}
+
+// trailing errors unless only whitespace remains, matching
+// encoding/json.Unmarshal's rejection of trailing garbage.
+func (l *lexer) trailing() error {
+	if l.peek() != 0 {
+		return l.errf("trailing data after value")
+	}
+	return nil
+}
+
+// foldEq reports whether key equals name under ASCII case folding.
+func foldEq(key []byte, name string) bool {
+	if len(key) != len(name) {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		a, b := key[i], name[i]
+		if a == b {
+			continue
+		}
+		if 'A' <= a && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// foldedField errors when an unrecognized key is a known field in
+// non-canonical casing. encoding/json matches keys case-insensitively as
+// a fallback; the fast scanner stays exact-match (the repo's encoders
+// always emit canonical keys), and this check routes the rare
+// differently-cased payload to the stdlib fallback instead of silently
+// zeroing the field.
+func (l *lexer) foldedField(key []byte, names []string) error {
+	for _, n := range names {
+		if foldEq(key, n) {
+			return l.errf("non-canonical key casing %q", key)
+		}
+	}
+	return nil
+}

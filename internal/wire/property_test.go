@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// The codec's contract is byte-for-byte equivalence with encoding/json in
+// both directions: Append* must render exactly what json.Marshal renders,
+// and Decode* of any marshaled payload must populate exactly what
+// json.Unmarshal populates. testing/quick drives randomized structs —
+// including hostile strings (control characters, quotes, non-ASCII) and
+// full-range integers — through both paths, the same style of generator
+// the xrp package's property tests use for ledger operations.
+
+// checkRoundTrip marshals via both paths and decodes via both paths,
+// failing on the first byte or field divergence.
+func checkRoundTrip(t *testing.T, v any, encode func() []byte, decodeInto func([]byte) (any, error)) bool {
+	t.Helper()
+	want, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	got := encode()
+	if !bytes.Equal(got, want) {
+		t.Logf("encode mismatch:\n wire: %s\n json: %s", got, want)
+		return false
+	}
+	viaWire, err := decodeInto(want)
+	if err != nil {
+		t.Logf("wire decode failed: %v", err)
+		return false
+	}
+	viaStd := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+	if err := json.Unmarshal(want, viaStd); err != nil {
+		t.Fatalf("json.Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(viaWire, viaStd) {
+		t.Logf("decode mismatch:\n wire: %#v\n json: %#v", viaWire, viaStd)
+		return false
+	}
+	return true
+}
+
+func TestEOSBlockRoundTripMatchesStdlib(t *testing.T) {
+	c := NewCodec()
+	f := func(b EOSBlockJSON) bool {
+		return checkRoundTrip(t, &b,
+			func() []byte { return c.AppendEOSBlock(nil, &b) },
+			func(raw []byte) (any, error) {
+				var into EOSBlockJSON
+				err := c.DecodeEOSBlock(raw, &into)
+				return &into, err
+			})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTezosBlockRoundTripMatchesStdlib(t *testing.T) {
+	c := NewCodec()
+	f := func(b TezosBlockJSON) bool {
+		return checkRoundTrip(t, &b,
+			func() []byte { return c.AppendTezosBlock(nil, &b) },
+			func(raw []byte) (any, error) {
+				var into TezosBlockJSON
+				err := c.DecodeTezosBlock(raw, &into)
+				return &into, err
+			})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXRPLedgerRoundTripMatchesStdlib(t *testing.T) {
+	c := NewCodec()
+	f := func(l XRPLedgerJSON) bool {
+		return checkRoundTrip(t, &l,
+			func() []byte { return c.AppendXRPLedger(nil, &l) },
+			func(raw []byte) (any, error) {
+				var into XRPLedgerJSON
+				err := c.DecodeXRPLedger(raw, &into)
+				return &into, err
+			})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestXRPLedgerResultEnvelope checks the collector-side envelope decode
+// against the stdlib equivalent.
+func TestXRPLedgerResultEnvelope(t *testing.T) {
+	c := NewCodec()
+	f := func(l XRPLedgerJSON, index int64) bool {
+		env := struct {
+			Ledger      XRPLedgerJSON `json:"ledger"`
+			LedgerIndex int64         `json:"ledger_index"`
+			Validated   bool          `json:"validated"`
+		}{l, index, true}
+		raw, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaWire XRPLedgerJSON
+		if err := c.DecodeXRPLedgerResult(raw, &viaWire); err != nil {
+			t.Logf("wire envelope decode failed: %v", err)
+			return false
+		}
+		var viaStd struct {
+			Ledger XRPLedgerJSON `json:"ledger"`
+		}
+		if err := json.Unmarshal(raw, &viaStd); err != nil {
+			t.Fatal(err)
+		}
+		return reflect.DeepEqual(&viaWire, &viaStd.Ledger)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeReusedStructs drives many random payloads through one pooled
+// struct, proving a revived arena struct decodes indistinguishably from a
+// fresh one (no stale transactions, actions, map entries or amounts leak
+// between payloads).
+func TestDecodeReusedStructs(t *testing.T) {
+	c := NewCodec()
+	rng := rand.New(rand.NewSource(7))
+	reusedEOS := GetEOSBlock()
+	defer PutEOSBlock(reusedEOS)
+	reusedTezos := GetTezosBlock()
+	defer PutTezosBlock(reusedTezos)
+	reusedXRP := GetXRPLedger()
+	defer PutXRPLedger(reusedXRP)
+
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			v, ok := quick.Value(reflect.TypeOf(EOSBlockJSON{}), rng)
+			if !ok {
+				t.Fatal("quick.Value failed")
+			}
+			b := v.Interface().(EOSBlockJSON)
+			raw, err := json.Marshal(&b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.DecodeEOSBlock(raw, reusedEOS); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			var fresh EOSBlockJSON
+			if err := json.Unmarshal(raw, &fresh); err != nil {
+				t.Fatal(err)
+			}
+			if !equivalentEOS(reusedEOS, &fresh) {
+				t.Fatalf("iteration %d: reused EOS decode diverged\n got: %#v\nwant: %#v", i, reusedEOS, &fresh)
+			}
+		case 1:
+			v, _ := quick.Value(reflect.TypeOf(TezosBlockJSON{}), rng)
+			b := v.Interface().(TezosBlockJSON)
+			raw, err := json.Marshal(&b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.DecodeTezosBlock(raw, reusedTezos); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			var fresh TezosBlockJSON
+			if err := json.Unmarshal(raw, &fresh); err != nil {
+				t.Fatal(err)
+			}
+			if !equivalentTezos(reusedTezos, &fresh) {
+				t.Fatalf("iteration %d: reused Tezos decode diverged", i)
+			}
+		default:
+			v, _ := quick.Value(reflect.TypeOf(XRPLedgerJSON{}), rng)
+			l := v.Interface().(XRPLedgerJSON)
+			raw, err := json.Marshal(&l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.DecodeXRPLedger(raw, reusedXRP); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			var fresh XRPLedgerJSON
+			if err := json.Unmarshal(raw, &fresh); err != nil {
+				t.Fatal(err)
+			}
+			if !equivalentXRP(reusedXRP, &fresh) {
+				t.Fatalf("iteration %d: reused XRP decode diverged", i)
+			}
+		}
+	}
+}
+
+// The equivalent* helpers compare semantically: a reused struct may hold an
+// empty-but-non-nil slice or map where a fresh decode holds nil.
+
+func equivalentEOS(a, b *EOSBlockJSON) bool {
+	if a.BlockNum != b.BlockNum || a.ID != b.ID || a.Previous != b.Previous ||
+		a.Timestamp != b.Timestamp || a.Producer != b.Producer ||
+		len(a.Transactions) != len(b.Transactions) {
+		return false
+	}
+	for i := range a.Transactions {
+		x, y := &a.Transactions[i], &b.Transactions[i]
+		if x.Status != y.Status || x.Trx.ID != y.Trx.ID ||
+			len(x.Trx.Transaction.Actions) != len(y.Trx.Transaction.Actions) {
+			return false
+		}
+		for j := range x.Trx.Transaction.Actions {
+			p, q := &x.Trx.Transaction.Actions[j], &y.Trx.Transaction.Actions[j]
+			if p.Account != q.Account || p.Name != q.Name || p.Inline != q.Inline ||
+				len(p.Authorization) != len(q.Authorization) || !equalMap(p.Data, q.Data) {
+				return false
+			}
+			for k := range p.Authorization {
+				if !equalMap(p.Authorization[k], q.Authorization[k]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func equalMap(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func equivalentTezos(a, b *TezosBlockJSON) bool {
+	if a.Level != b.Level || a.Hash != b.Hash || a.Predecessor != b.Predecessor ||
+		a.Timestamp != b.Timestamp || a.Baker != b.Baker ||
+		len(a.Operations) != len(b.Operations) {
+		return false
+	}
+	for i := range a.Operations {
+		if a.Operations[i] != b.Operations[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equivalentXRP(a, b *XRPLedgerJSON) bool {
+	if a.LedgerIndex != b.LedgerIndex || a.LedgerHash != b.LedgerHash ||
+		a.ParentHash != b.ParentHash || a.CloseTime != b.CloseTime ||
+		a.TxCount != b.TxCount || len(a.Transactions) != len(b.Transactions) {
+		return false
+	}
+	for i := range a.Transactions {
+		x, y := &a.Transactions[i], &b.Transactions[i]
+		if x.Hash != y.Hash || x.TransactionType != y.TransactionType ||
+			x.Account != y.Account || x.Destination != y.Destination ||
+			x.DestinationTag != y.DestinationTag || x.Fee != y.Fee ||
+			x.Sequence != y.Sequence || x.OfferSequence != y.OfferSequence ||
+			x.Result != y.Result || x.Executed != y.Executed ||
+			x.RestingSequence != y.RestingSequence ||
+			!equalAmount(x.Amount, y.Amount) || !equalAmount(x.TakerGets, y.TakerGets) ||
+			!equalAmount(x.TakerPays, y.TakerPays) || !equalAmount(x.LimitAmount, y.LimitAmount) ||
+			!equalAmount(x.DeliveredAmount, y.DeliveredAmount) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalAmount(a, b *XRPAmountJSON) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled skips allocation-count pins under the race detector, whose
+// instrumentation perturbs them.
+const raceEnabled = true

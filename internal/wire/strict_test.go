@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNonCanonicalKeyCasingMatchesStdlib: encoding/json matches field
+// names case-insensitively as a fallback; the fast scanner must not
+// silently zero such fields, but instead route the payload through the
+// stdlib fallback and decode it identically.
+func TestNonCanonicalKeyCasingMatchesStdlib(t *testing.T) {
+	c := NewCodec()
+
+	var tz TezosBlockJSON
+	raw := []byte(`{"Level":7,"hash":"H","operations":[{"Kind":"endorsement","SOURCE":"tz1x"}]}`)
+	if err := c.DecodeTezosBlock(raw, &tz); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var want TezosBlockJSON
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if tz.Level != want.Level || tz.Level != 7 {
+		t.Fatalf("folded Level lost: got %d, stdlib %d", tz.Level, want.Level)
+	}
+	if len(tz.Operations) != 1 || tz.Operations[0].Source != "tz1x" {
+		t.Fatalf("folded operation fields lost: %+v", tz.Operations)
+	}
+
+	var eb EOSBlockJSON
+	eraw := []byte(`{"Block_Num":9,"Producer":"prod"}`)
+	if err := c.DecodeEOSBlock(eraw, &eb); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if eb.BlockNum != 9 || eb.Producer != "prod" {
+		t.Fatalf("folded EOS fields lost: %+v", eb)
+	}
+
+	var led XRPLedgerJSON
+	xraw := []byte(`{"LEDGER":{"Ledger_Index":3,"transactions":[{"ACCOUNT":"rA","FEE":10}]}}`)
+	if err := c.DecodeXRPLedgerResult(xraw, &led); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if led.LedgerIndex != 3 || len(led.Transactions) != 1 || led.Transactions[0].Account != "rA" {
+		t.Fatalf("folded XRP fields lost: %+v", led)
+	}
+
+	// Genuinely unknown keys still skip without tripping the fold check.
+	var tz2 TezosBlockJSON
+	if err := c.DecodeTezosBlock([]byte(`{"level":5,"chain_id":"main","metadata":{"a":[1,2]}}`), &tz2); err != nil {
+		t.Fatalf("unknown fields must skip cleanly: %v", err)
+	}
+	if tz2.Level != 5 {
+		t.Fatalf("level lost next to unknown fields: %+v", tz2)
+	}
+}
+
+// TestStrictNumbersMatchStdlib: malformed numbers that encoding/json
+// rejects must fail the wire decode too — corruption in an archived
+// payload has to surface, not quietly parse.
+func TestStrictNumbersMatchStdlib(t *testing.T) {
+	c := NewCodec()
+	cases := []string{
+		`{"level":007}`,            // leading zeros in a decoded field
+		`{"level":-}`,              // lone minus
+		`{"unknownfield":00}`,      // leading zeros in a skipped field
+		`{"unknownfield":1.}`,      // no digits after decimal point
+		`{"unknownfield":1e}`,      // no digits in exponent
+		`{"unknownfield":1.2e++3}`, // garbage exponent
+		`{"unknownfield":-}`,       // lone minus in a skipped field
+	}
+	for _, raw := range cases {
+		var viaStd TezosBlockJSON
+		if err := json.Unmarshal([]byte(raw), &viaStd); err == nil {
+			t.Fatalf("test premise broken: stdlib accepts %s", raw)
+		}
+		var tz TezosBlockJSON
+		if err := c.DecodeTezosBlock([]byte(raw), &tz); err == nil {
+			t.Errorf("wire decode accepted %s, stdlib rejects it", raw)
+		}
+	}
+
+	// Valid numbers stdlib accepts must keep decoding, including in
+	// skipped fields.
+	ok := []string{
+		`{"level":0}`,
+		`{"level":-0}`,
+		`{"unknownfield":0.5}`,
+		`{"unknownfield":-1.25e-3}`,
+		`{"unknownfield":1E+2}`,
+	}
+	for _, raw := range ok {
+		var tz TezosBlockJSON
+		if err := c.DecodeTezosBlock([]byte(raw), &tz); err != nil {
+			t.Errorf("wire decode rejected valid %s: %v", raw, err)
+		}
+	}
+}
+
+// TestFoldedKeysStayOffHotPath: canonical payloads with skipped envelope
+// fields must not pay for the fold check — the envelope decode stays
+// allocation-free (the fold comparison itself allocates nothing).
+func TestFoldedKeysStayOffHotPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	c := NewCodec()
+	raw := []byte(`{"ledger":{"ledger_index":1,"close_time_human":"t"},"ledger_index":1,"validated":true}`)
+	led := GetXRPLedger()
+	defer PutXRPLedger(led)
+	if err := c.DecodeXRPLedgerResult(raw, led); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.DecodeXRPLedgerResult(raw, led); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("envelope decode with skipped fields: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSurrogateEscapesMatchStdlib pins the unpaired-surrogate re-scan
+// behavior: after a failed pair, encoding/json emits one replacement char
+// and processes the second escape on its own — so must the lexer.
+func TestSurrogateEscapesMatchStdlib(t *testing.T) {
+	c := NewCodec()
+	cases := []string{
+		`"\ud800\ud800\udc00"`, // failed pair, then a valid escaped pair
+		`"\ud800\u0041"`,       // high surrogate then plain escape
+		`"\udc00\ud800\udc00"`, // lone low surrogate then a valid pair
+		`"\ud800"`,             // lone high surrogate at end
+		`"\ud800x"`,            // high surrogate then literal byte
+		`"\ud800\udc00"`,       // plain valid escaped pair
+		`"\udc00\udc00"`,       // two lone low surrogates
+	}
+	for _, esc := range cases {
+		raw := []byte(`{"hash":` + esc + `}`)
+		var viaStd TezosBlockJSON
+		if err := json.Unmarshal(raw, &viaStd); err != nil {
+			t.Fatalf("premise: stdlib rejects %s: %v", esc, err)
+		}
+		var tz TezosBlockJSON
+		if err := c.DecodeTezosBlock(raw, &tz); err != nil {
+			t.Fatalf("wire decode of %s failed: %v", esc, err)
+		}
+		if tz.Hash != viaStd.Hash {
+			t.Errorf("%s: wire %q != stdlib %q", esc, tz.Hash, viaStd.Hash)
+		}
+	}
+}
+
+// TestFoldEq pins the ASCII fold used for key matching.
+func TestFoldEq(t *testing.T) {
+	if !foldEq([]byte("Block_Num"), "block_num") || !foldEq([]byte("ID"), "id") {
+		t.Fatal("foldEq must match ASCII case-insensitively")
+	}
+	if foldEq([]byte("block-num"), "block_num") || foldEq([]byte("blocknum"), "block_num") {
+		t.Fatal("foldEq must not match different names")
+	}
+	if foldEq([]byte(strings.Repeat("a", 3)), "aaaa") {
+		t.Fatal("foldEq must respect length")
+	}
+}

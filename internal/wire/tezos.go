@@ -1,0 +1,280 @@
+package wire
+
+import "encoding/json"
+
+// AppendTezosBlock renders b as octez-style block JSON, byte-identical to
+// encoding/json.Marshal of the same struct, appending to dst.
+func (c *Codec) AppendTezosBlock(dst []byte, b *TezosBlockJSON) []byte {
+	dst = append(dst, `{"level":`...)
+	dst = appendInt(dst, b.Level)
+	dst = appendKey(dst, "hash")
+	dst = appendJSONString(dst, b.Hash)
+	dst = appendKey(dst, "predecessor")
+	dst = appendJSONString(dst, b.Predecessor)
+	dst = appendKey(dst, "timestamp")
+	dst = appendJSONString(dst, b.Timestamp)
+	dst = appendKey(dst, "baker")
+	dst = appendJSONString(dst, b.Baker)
+	dst = appendKey(dst, "operations")
+	if b.Operations == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i := range b.Operations {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendTezosOperation(dst, &b.Operations[i])
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
+func appendTezosOperation(dst []byte, op *TezosOperationJSON) []byte {
+	dst = append(dst, `{"kind":`...)
+	dst = appendJSONString(dst, op.Kind)
+	if op.Source != "" {
+		dst = appendKey(dst, "source")
+		dst = appendJSONString(dst, op.Source)
+	}
+	if op.Destination != "" {
+		dst = appendKey(dst, "destination")
+		dst = appendJSONString(dst, op.Destination)
+	}
+	if op.Amount != 0 {
+		dst = appendKey(dst, "amount")
+		dst = appendInt(dst, op.Amount)
+	}
+	if op.Fee != 0 {
+		dst = appendKey(dst, "fee")
+		dst = appendInt(dst, op.Fee)
+	}
+	if op.Level != 0 {
+		dst = appendKey(dst, "level")
+		dst = appendInt(dst, op.Level)
+	}
+	if op.SlotCount != 0 {
+		dst = appendKey(dst, "slot_count")
+		dst = appendInt(dst, int64(op.SlotCount))
+	}
+	if op.Proposal != "" {
+		dst = appendKey(dst, "proposal")
+		dst = appendJSONString(dst, op.Proposal)
+	}
+	if op.Ballot != "" {
+		dst = appendKey(dst, "ballot")
+		dst = appendJSONString(dst, op.Ballot)
+	}
+	if op.Rolls != 0 {
+		dst = appendKey(dst, "rolls")
+		dst = appendInt(dst, op.Rolls)
+	}
+	if op.Delegate != "" {
+		dst = appendKey(dst, "delegate")
+		dst = appendJSONString(dst, op.Delegate)
+	}
+	return append(dst, '}')
+}
+
+// DecodeTezosBlock parses raw into the (typically pooled) block struct,
+// reusing its operation slice capacity; see DecodeEOSBlock for the
+// fallback contract.
+func (c *Codec) DecodeTezosBlock(raw []byte, into *TezosBlockJSON) error {
+	if err := c.decodeTezosBlock(raw, into); err != nil {
+		// Zero struct for fresh-struct stdlib semantics; see DecodeEOSBlock.
+		*into = TezosBlockJSON{}
+		return json.Unmarshal(raw, into)
+	}
+	return nil
+}
+
+// Canonical field-name sets; see the EOS decoder for the fold contract.
+var (
+	tezosBlockFields = []string{"level", "hash", "predecessor", "timestamp", "baker", "operations"}
+	tezosOpFields    = []string{"kind", "source", "destination", "amount", "fee", "level", "slot_count", "proposal", "ballot", "rolls", "delegate"}
+)
+
+func resetTezosBlock(b *TezosBlockJSON) {
+	b.Level = 0
+	b.Hash, b.Predecessor, b.Timestamp, b.Baker = "", "", "", ""
+	b.Operations = b.Operations[:0]
+}
+
+func (c *Codec) decodeTezosBlock(raw []byte, into *TezosBlockJSON) error {
+	l := &c.lex
+	l.reset(raw)
+	resetTezosBlock(into)
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	if l.tryConsume('}') {
+		return l.trailing()
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "level":
+			if err := l.decodeInt64(&into.Level); err != nil {
+				return err
+			}
+		case "hash":
+			if err := c.decodeStr(&into.Hash); err != nil {
+				return err
+			}
+		case "predecessor":
+			if err := c.decodeStr(&into.Predecessor); err != nil {
+				return err
+			}
+		case "timestamp":
+			if err := c.decodeStr(&into.Timestamp); err != nil {
+				return err
+			}
+		case "baker":
+			if err := c.decodeStr(&into.Baker); err != nil {
+				return err
+			}
+		case "operations":
+			if l.tryNull() {
+				break
+			}
+			if err := l.expect('['); err != nil {
+				return err
+			}
+			if into.Operations == nil {
+				into.Operations = make([]TezosOperationJSON, 0, 8)
+			}
+			if !l.tryConsume(']') {
+				for {
+					var op *TezosOperationJSON
+					into.Operations, op = growTezosOp(into.Operations)
+					if err := c.decodeTezosOperation(op); err != nil {
+						return err
+					}
+					if l.tryConsume(',') {
+						continue
+					}
+					if err := l.expect(']'); err != nil {
+						return err
+					}
+					break
+				}
+			}
+		default:
+			if err := l.foldedField(key, tezosBlockFields); err != nil {
+				return err
+			}
+			if err := l.skipValue(0); err != nil {
+				return err
+			}
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		if err := l.expect('}'); err != nil {
+			return err
+		}
+		return l.trailing()
+	}
+}
+
+func growTezosOp(s []TezosOperationJSON) ([]TezosOperationJSON, *TezosOperationJSON) {
+	if len(s) < cap(s) {
+		s = s[:len(s)+1]
+	} else {
+		s = append(s, TezosOperationJSON{})
+	}
+	op := &s[len(s)-1]
+	*op = TezosOperationJSON{}
+	return s, op
+}
+
+func (c *Codec) decodeTezosOperation(op *TezosOperationJSON) error {
+	l := &c.lex
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	if l.tryConsume('}') {
+		return nil
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "kind":
+			err = c.decodeStr(&op.Kind)
+		case "source":
+			err = c.decodeStr(&op.Source)
+		case "destination":
+			err = c.decodeStr(&op.Destination)
+		case "amount":
+			err = l.decodeInt64(&op.Amount)
+		case "fee":
+			err = l.decodeInt64(&op.Fee)
+		case "level":
+			err = l.decodeInt64(&op.Level)
+		case "slot_count":
+			err = l.decodeIntField(&op.SlotCount)
+		case "proposal":
+			err = c.decodeStr(&op.Proposal)
+		case "ballot":
+			err = c.decodeStr(&op.Ballot)
+		case "rolls":
+			err = l.decodeInt64(&op.Rolls)
+		case "delegate":
+			err = c.decodeStr(&op.Delegate)
+		default:
+			if err = l.foldedField(key, tezosOpFields); err == nil {
+				err = l.skipValue(0)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		return l.expect('}')
+	}
+}
+
+// decodeInt64 reads an integer (or null, a no-op) into dst.
+func (l *lexer) decodeInt64(dst *int64) error {
+	if l.tryNull() {
+		return nil
+	}
+	n, err := l.readInt64()
+	if err != nil {
+		return err
+	}
+	*dst = n
+	return nil
+}
+
+// decodeIntField reads an int-sized integer (or null) into dst.
+func (l *lexer) decodeIntField(dst *int) error {
+	if l.tryNull() {
+		return nil
+	}
+	n, err := l.readInt64()
+	if err != nil {
+		return err
+	}
+	v := int(n)
+	if int64(v) != n {
+		return l.errf("number out of int range")
+	}
+	*dst = v
+	return nil
+}

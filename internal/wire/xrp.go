@@ -1,0 +1,459 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// AppendXRPLedger renders l as rippled-style ledger JSON, byte-identical to
+// encoding/json.Marshal of the same struct, appending to dst.
+func (c *Codec) AppendXRPLedger(dst []byte, l *XRPLedgerJSON) []byte {
+	dst = append(dst, `{"ledger_index":`...)
+	dst = appendInt(dst, l.LedgerIndex)
+	dst = appendKey(dst, "ledger_hash")
+	dst = appendJSONString(dst, l.LedgerHash)
+	dst = appendKey(dst, "parent_hash")
+	dst = appendJSONString(dst, l.ParentHash)
+	dst = appendKey(dst, "close_time_human")
+	dst = appendJSONString(dst, l.CloseTime)
+	dst = appendKey(dst, "transaction_count")
+	dst = appendInt(dst, int64(l.TxCount))
+	if len(l.Transactions) > 0 {
+		dst = appendKey(dst, "transactions")
+		dst = append(dst, '[')
+		for i := range l.Transactions {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendXRPTx(dst, &l.Transactions[i])
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
+func appendXRPTx(dst []byte, tx *XRPTxJSON) []byte {
+	dst = append(dst, `{"hash":`...)
+	dst = appendJSONString(dst, tx.Hash)
+	dst = appendKey(dst, "TransactionType")
+	dst = appendJSONString(dst, tx.TransactionType)
+	dst = appendKey(dst, "Account")
+	dst = appendJSONString(dst, tx.Account)
+	if tx.Destination != "" {
+		dst = appendKey(dst, "Destination")
+		dst = appendJSONString(dst, tx.Destination)
+	}
+	if tx.DestinationTag != 0 {
+		dst = appendKey(dst, "DestinationTag")
+		dst = appendUint(dst, uint64(tx.DestinationTag))
+	}
+	dst = appendKey(dst, "Fee")
+	dst = appendInt(dst, tx.Fee)
+	dst = appendKey(dst, "Sequence")
+	dst = appendUint(dst, uint64(tx.Sequence))
+	dst = appendXRPAmountField(dst, "Amount", tx.Amount)
+	dst = appendXRPAmountField(dst, "TakerGets", tx.TakerGets)
+	dst = appendXRPAmountField(dst, "TakerPays", tx.TakerPays)
+	dst = appendXRPAmountField(dst, "LimitAmount", tx.LimitAmount)
+	dst = appendXRPAmountField(dst, "delivered_amount", tx.DeliveredAmount)
+	if tx.OfferSequence != 0 {
+		dst = appendKey(dst, "OfferSequence")
+		dst = appendUint(dst, uint64(tx.OfferSequence))
+	}
+	dst = appendKey(dst, "meta_TransactionResult")
+	dst = appendJSONString(dst, tx.Result)
+	if tx.Executed {
+		dst = append(dst, `,"executed":true`...)
+	}
+	if tx.RestingSequence != 0 {
+		dst = appendKey(dst, "resting_sequence")
+		dst = appendUint(dst, uint64(tx.RestingSequence))
+	}
+	return append(dst, '}')
+}
+
+func appendXRPAmountField(dst []byte, key string, a *XRPAmountJSON) []byte {
+	if a == nil {
+		return dst
+	}
+	dst = appendKey(dst, key)
+	dst = append(dst, `{"currency":`...)
+	dst = appendJSONString(dst, a.Currency)
+	if a.Issuer != "" {
+		dst = appendKey(dst, "issuer")
+		dst = appendJSONString(dst, a.Issuer)
+	}
+	dst = appendKey(dst, "value")
+	dst = appendInt(dst, a.Value)
+	return append(dst, '}')
+}
+
+// DecodeXRPLedger parses a bare ledger object into the (typically pooled)
+// struct; see DecodeEOSBlock for the fallback contract.
+func (c *Codec) DecodeXRPLedger(raw []byte, into *XRPLedgerJSON) error {
+	c.lex.reset(raw)
+	if err := c.decodeXRPLedgerValue(into, true); err != nil {
+		// Zero struct for fresh-struct stdlib semantics; see DecodeEOSBlock.
+		*into = XRPLedgerJSON{}
+		return json.Unmarshal(raw, into)
+	}
+	return nil
+}
+
+// DecodeXRPLedgerResult parses the rippled command envelope
+// {"ledger": {...}, ...} the collector receives, extracting the ledger.
+func (c *Codec) DecodeXRPLedgerResult(raw []byte, into *XRPLedgerJSON) error {
+	if err := c.decodeXRPLedgerResult(raw, into); err != nil {
+		*into = XRPLedgerJSON{}
+		var res struct {
+			Ledger *XRPLedgerJSON `json:"ledger"`
+		}
+		res.Ledger = into
+		return json.Unmarshal(raw, &res)
+	}
+	return nil
+}
+
+// Canonical field-name sets; see the EOS decoder for the fold contract.
+var (
+	xrpEnvelopeFields = []string{"ledger"}
+	xrpLedgerFields   = []string{"ledger_index", "ledger_hash", "parent_hash", "close_time_human", "transaction_count", "transactions"}
+	xrpTxFields       = []string{"hash", "TransactionType", "Account", "Destination", "DestinationTag", "Fee", "Sequence", "Amount", "TakerGets", "TakerPays", "LimitAmount", "delivered_amount", "OfferSequence", "meta_TransactionResult", "executed", "resting_sequence"}
+	xrpAmountFields   = []string{"currency", "issuer", "value"}
+)
+
+func (c *Codec) decodeXRPLedgerResult(raw []byte, into *XRPLedgerJSON) error {
+	l := &c.lex
+	l.reset(raw)
+	c.resetXRPLedger(into)
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	if l.tryConsume('}') {
+		return l.trailing()
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		if string(key) == "ledger" {
+			if err := c.decodeXRPLedgerValue(into, false); err != nil {
+				return err
+			}
+		} else if err := l.foldedField(key, xrpEnvelopeFields); err != nil {
+			return err
+		} else if err := l.skipValue(0); err != nil {
+			return err
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		if err := l.expect('}'); err != nil {
+			return err
+		}
+		return l.trailing()
+	}
+}
+
+// resetXRPLedger zeroes the ledger for refilling, recycling its transaction
+// amount structs into the codec-independent free list.
+func (c *Codec) resetXRPLedger(ld *XRPLedgerJSON) {
+	ld.LedgerIndex = 0
+	ld.LedgerHash, ld.ParentHash, ld.CloseTime = "", "", ""
+	ld.TxCount = 0
+	ld.Transactions = ld.Transactions[:0]
+}
+
+// decodeXRPLedgerValue parses one ledger object. top marks a whole-payload
+// decode that must consume trailing input.
+func (c *Codec) decodeXRPLedgerValue(into *XRPLedgerJSON, top bool) error {
+	l := &c.lex
+	if top {
+		c.resetXRPLedger(into)
+	}
+	if !top && l.tryNull() {
+		return nil
+	}
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	done := func() error {
+		if top {
+			return l.trailing()
+		}
+		return nil
+	}
+	if l.tryConsume('}') {
+		return done()
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "ledger_index":
+			err = l.decodeInt64(&into.LedgerIndex)
+		case "ledger_hash":
+			err = c.decodeStr(&into.LedgerHash)
+		case "parent_hash":
+			err = c.decodeStr(&into.ParentHash)
+		case "close_time_human":
+			err = c.decodeStr(&into.CloseTime)
+		case "transaction_count":
+			err = l.decodeIntField(&into.TxCount)
+		case "transactions":
+			if l.tryNull() {
+				break
+			}
+			if err = l.expect('['); err != nil {
+				break
+			}
+			if into.Transactions == nil {
+				into.Transactions = make([]XRPTxJSON, 0, 8)
+			}
+			if !l.tryConsume(']') {
+				for {
+					var tx *XRPTxJSON
+					into.Transactions, tx = c.growXRPTx(into.Transactions)
+					if err = c.decodeXRPTx(tx); err != nil {
+						return err
+					}
+					if l.tryConsume(',') {
+						continue
+					}
+					if err = l.expect(']'); err != nil {
+						return err
+					}
+					break
+				}
+			}
+		default:
+			if err = l.foldedField(key, xrpLedgerFields); err == nil {
+				err = l.skipValue(0)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		if err := l.expect('}'); err != nil {
+			return err
+		}
+		return done()
+	}
+}
+
+// growXRPTx extends s by one element, recycling the revived element's
+// amount structs into the codec's free list (fields present in the JSON
+// take them back; absent fields stay nil, as encoding/json leaves them).
+func (c *Codec) growXRPTx(s []XRPTxJSON) ([]XRPTxJSON, *XRPTxJSON) {
+	if len(s) < cap(s) {
+		s = s[:len(s)+1]
+	} else {
+		s = append(s, XRPTxJSON{})
+	}
+	tx := &s[len(s)-1]
+	c.freeAmount(tx.Amount)
+	c.freeAmount(tx.TakerGets)
+	c.freeAmount(tx.TakerPays)
+	c.freeAmount(tx.LimitAmount)
+	c.freeAmount(tx.DeliveredAmount)
+	*tx = XRPTxJSON{}
+	return s, tx
+}
+
+const maxFreeAmounts = 4096
+
+func (c *Codec) freeAmount(a *XRPAmountJSON) {
+	if a != nil && len(c.amounts) < maxFreeAmounts {
+		c.amounts = append(c.amounts, a)
+	}
+}
+
+func (c *Codec) getAmount() *XRPAmountJSON {
+	if n := len(c.amounts); n > 0 {
+		a := c.amounts[n-1]
+		c.amounts = c.amounts[:n-1]
+		*a = XRPAmountJSON{}
+		return a
+	}
+	return new(XRPAmountJSON)
+}
+
+func (c *Codec) decodeXRPTx(tx *XRPTxJSON) error {
+	l := &c.lex
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	if l.tryConsume('}') {
+		return nil
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "hash":
+			err = c.decodeStr(&tx.Hash)
+		case "TransactionType":
+			err = c.decodeStr(&tx.TransactionType)
+		case "Account":
+			err = c.decodeStr(&tx.Account)
+		case "Destination":
+			err = c.decodeStr(&tx.Destination)
+		case "DestinationTag":
+			err = l.decodeUint32(&tx.DestinationTag)
+		case "Fee":
+			err = l.decodeInt64(&tx.Fee)
+		case "Sequence":
+			err = l.decodeUint32(&tx.Sequence)
+		case "Amount":
+			err = c.decodeAmountField(&tx.Amount)
+		case "TakerGets":
+			err = c.decodeAmountField(&tx.TakerGets)
+		case "TakerPays":
+			err = c.decodeAmountField(&tx.TakerPays)
+		case "LimitAmount":
+			err = c.decodeAmountField(&tx.LimitAmount)
+		case "delivered_amount":
+			err = c.decodeAmountField(&tx.DeliveredAmount)
+		case "OfferSequence":
+			err = l.decodeUint32(&tx.OfferSequence)
+		case "meta_TransactionResult":
+			err = c.decodeStr(&tx.Result)
+		case "executed":
+			if !l.tryNull() {
+				var v bool
+				if v, err = l.readBool(); err == nil {
+					tx.Executed = v
+				}
+			}
+		case "resting_sequence":
+			err = l.decodeUint32(&tx.RestingSequence)
+		default:
+			if err = l.foldedField(key, xrpTxFields); err == nil {
+				err = l.skipValue(0)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		return l.expect('}')
+	}
+}
+
+func (l *lexer) decodeUint32(dst *uint32) error {
+	if l.tryNull() {
+		return nil
+	}
+	n, err := l.readUint32()
+	if err != nil {
+		return err
+	}
+	*dst = n
+	return nil
+}
+
+func (c *Codec) decodeAmountField(dst **XRPAmountJSON) error {
+	l := &c.lex
+	if l.tryNull() {
+		// encoding/json sets pointer fields to nil on null.
+		*dst = nil
+		return nil
+	}
+	if err := l.expect('{'); err != nil {
+		return err
+	}
+	a := *dst
+	if a == nil {
+		a = c.getAmount()
+		*dst = a
+	} else {
+		*a = XRPAmountJSON{}
+	}
+	if l.tryConsume('}') {
+		return nil
+	}
+	for {
+		key, err := l.readString()
+		if err != nil {
+			return err
+		}
+		if err := l.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "currency":
+			err = c.decodeStr(&a.Currency)
+		case "issuer":
+			err = c.decodeStr(&a.Issuer)
+		case "value":
+			err = l.decodeInt64(&a.Value)
+		default:
+			if err = l.foldedField(key, xrpAmountFields); err == nil {
+				err = l.skipValue(0)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if l.tryConsume(',') {
+			continue
+		}
+		return l.expect('}')
+	}
+}
+
+// AppendXRPLedgerResponse renders the whole rippled WebSocket envelope for
+// a successful ledger command — {"id":…,"status":"success","type":
+// "response","result":{"ledger":…,"ledger_index":…,"validated":true}} —
+// matching what encoding/json produced for the equivalent response struct.
+// The reported ok is false when the request id has a shape the fast path
+// does not render (caller falls back to reflection).
+func (c *Codec) AppendXRPLedgerResponse(dst []byte, id any, l *XRPLedgerJSON, index int64) ([]byte, bool) {
+	dst = append(dst, `{"id":`...)
+	switch v := id.(type) {
+	case nil:
+		dst = append(dst, "null"...)
+	case string:
+		dst = appendJSONString(dst, v)
+	case int:
+		dst = appendInt(dst, int64(v))
+	case int64:
+		dst = appendInt(dst, v)
+	case json.Number:
+		dst = append(dst, v.String()...)
+	case float64:
+		// Request ids arrive as float64 via encoding/json; integral values
+		// render like stdlib. Non-integral ids take the fallback.
+		if v != math.Trunc(v) || math.Abs(v) > 1<<53 {
+			return dst, false
+		}
+		dst = appendInt(dst, int64(v))
+	default:
+		return dst, false
+	}
+	dst = append(dst, `,"status":"success","type":"response","result":{"ledger":`...)
+	dst = c.AppendXRPLedger(dst, l)
+	dst = append(dst, `,"ledger_index":`...)
+	dst = appendInt(dst, index)
+	dst = append(dst, `,"validated":true}}`...)
+	return dst, true
+}
