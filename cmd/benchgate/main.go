@@ -11,6 +11,7 @@
 //	go run ./cmd/benchgate -baseline BENCH_baseline.json bench.out
 //	go run ./cmd/benchgate -write BENCH_5.json bench.out          # snapshot
 //	go run ./cmd/benchgate -baseline old.json -threshold 10 bench.out
+//	go run ./cmd/benchgate -update -baseline BENCH_baseline.json bench.out
 //
 // Comparison rules:
 //
@@ -28,6 +29,12 @@
 //     shrink coverage to zero. New benchmarks (present only in the
 //     input) land freely; retiring one means refreshing the baseline in
 //     the same change.
+//
+// -update is how the baseline is refreshed: it rewrites the -baseline
+// file from the run's parsed results (printing the old-vs-new delta table
+// first, so the refresh is reviewable) instead of gating against it. Use
+// it when a perf PR moves the floor or the reference machine changes —
+// the baseline never needs hand-editing.
 package main
 
 import (
@@ -153,6 +160,30 @@ func compare(old, cur map[string]Result, thresholdPct, floorNs float64, timeSkip
 	return regs
 }
 
+// writeSnapshot persists parsed results as a snapshot JSON.
+func writeSnapshot(path string, cur map[string]Result, note string) error {
+	data, err := json.MarshalIndent(Snapshot{Note: note, Benchmarks: cur}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runUpdate rewrites the baseline snapshot from cur. An existing baseline
+// prints its delta table first so the refresh is reviewable in the diff; a
+// missing or unreadable baseline is not an error — -update is also how the
+// very first baseline gets recorded.
+func runUpdate(w io.Writer, baselinePath string, cur map[string]Result, note string) error {
+	if old, err := loadSnapshot(baselinePath); err == nil {
+		table(w, old.Benchmarks, cur)
+	}
+	if err := writeSnapshot(baselinePath, cur, note); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchgate: baseline %s rewritten with %d benchmark(s)\n", baselinePath, len(cur))
+	return nil
+}
+
 // table prints a benchstat-style old-vs-new delta table for every
 // benchmark present on both sides.
 func table(w io.Writer, old, cur map[string]Result) {
@@ -181,6 +212,7 @@ func table(w io.Writer, old, cur map[string]Result) {
 func main() {
 	baseline := flag.String("baseline", "", "baseline snapshot JSON to gate against")
 	write := flag.String("write", "", "write the parsed results as a snapshot JSON")
+	update := flag.Bool("update", false, "rewrite the -baseline snapshot from this run instead of gating against it")
 	note := flag.String("note", "", "note recorded in the written snapshot")
 	threshold := flag.Float64("threshold", 15, "regression threshold in percent for time/op and allocs/op")
 	floorNs := flag.Float64("floor-ns", 200, "ignore time/op regressions smaller than this absolute ns delta")
@@ -222,17 +254,23 @@ func main() {
 	fmt.Printf("benchgate: parsed %d benchmark results\n", len(cur))
 
 	if *write != "" {
-		snap := Snapshot{Note: *note, Benchmarks: cur}
-		data, err := json.MarshalIndent(snap, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchgate:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+		if err := writeSnapshot(*write, cur, *note); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("benchgate: wrote %s\n", *write)
+	}
+
+	if *update {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchgate: -update needs -baseline (the snapshot to rewrite)")
+			os.Exit(2)
+		}
+		if err := runUpdate(os.Stdout, *baseline, cur, *note); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *baseline == "" {

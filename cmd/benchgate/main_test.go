@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -111,6 +112,58 @@ func TestCompareGates(t *testing.T) {
 	cur = map[string]Result{"BenchmarkTiny": {NsPerOp: 400}}
 	if regs := compare(old, cur, 15, 200, nil); len(regs) != 1 {
 		t.Fatalf("300ns past floor should gate: %+v", regs)
+	}
+}
+
+func TestUpdateRewritesBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+
+	// First update: no baseline exists yet; -update records one.
+	first := map[string]Result{
+		"BenchmarkA": {NsPerOp: 2000, AllocsPerOp: 10, HasMem: true},
+		"BenchmarkB": {NsPerOp: 500},
+	}
+	var out strings.Builder
+	if err := runUpdate(&out, path, first, "seed"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Note != "seed" || len(snap.Benchmarks) != 2 {
+		t.Fatalf("first update wrote %+v", snap)
+	}
+
+	// Second update replaces the numbers wholesale — including dropping a
+	// retired benchmark — and prints the reviewable delta table.
+	second := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 0, HasMem: true},
+	}
+	out.Reset()
+	if err := runUpdate(&out, path, second, "refresh"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Note != "refresh" {
+		t.Fatalf("note not replaced: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 1 || snap.Benchmarks["BenchmarkA"].NsPerOp != 1000 {
+		t.Fatalf("baseline not rewritten: %+v", snap.Benchmarks)
+	}
+	if _, ok := snap.Benchmarks["BenchmarkB"]; ok {
+		t.Fatal("retired benchmark survived the update")
+	}
+	if !strings.Contains(out.String(), "BenchmarkA") || !strings.Contains(out.String(), "-50.0%") {
+		t.Fatalf("update table missing delta: %q", out.String())
+	}
+
+	// The rewritten baseline is immediately usable by the gate.
+	if regs := compare(snap.Benchmarks, second, 15, 200, nil); len(regs) != 0 {
+		t.Fatalf("fresh baseline should gate clean: %+v", regs)
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 //	report [-eos-scale N] [-tezos-scale N] [-xrp-scale N] [-gov-scale N]
 //	       [-seed N] [-workers N] [-figure name] [-archive DIR]
-//	report -replay DIR
+//	report -replay DIR [-parallel N]
 //
 // Smaller scales simulate more traffic and converge closer to the paper's
 // percentages; the defaults finish in a few seconds.
@@ -17,11 +17,21 @@
 //
 // With -replay DIR the pipeline does not run at all: the command opens the
 // archive (or each per-chain archive directly under DIR, as cmd/crawl
-// -archive and pipeline ArchiveDir write them), streams the raw blocks
-// through the same ingestion path a live crawl uses, and prints each
-// chain's deterministic figures section — offline, with zero fetcher
-// network calls. The sections are byte-identical to what the live crawl
-// printed, which the CI archive job verifies by diffing the two.
+// -archive and pipeline ArchiveDir write them), walks the raw blocks
+// segment-parallel through core.IngestArchive — the same decoders and
+// mergeable shards a live crawl ingests through, minus the network — and
+// prints each chain's deterministic figures section. The sections are
+// byte-identical to what the live crawl printed, which the CI archive job
+// verifies by diffing the two.
+//
+// With -replay -parallel N the same archives replay N times concurrently —
+// a sweep with zero refetching, each run using a different ingest worker
+// count — and per-chain convergence bands (min/median/max of every figure
+// across runs) print after the figure sections. The decode path is
+// deliberately seed-free, so for the repo's deterministic decoders the
+// band must collapse to a point ("band: point" on the last line of each
+// band section), which the CI archive job asserts; a spread band flags an
+// aggregate that depends on ingestion order, scheduling or worker count.
 package main
 
 import (
@@ -31,8 +41,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/archive"
@@ -57,6 +69,7 @@ func main() {
 	stressScale := flag.Int64("stress-scale", 0, "eidos-stress scale divisor (0 = quarter of the EOS default)")
 	flag.StringVar(&opts.ArchiveDir, "archive", "", "archive directory: stages tee raw blocks into it, and replay from it when it already covers their ranges")
 	replay := flag.String("replay", "", "replay archives under this directory offline (no pipeline, no network) and print their figures")
+	parallel := flag.Int("parallel", 0, "with -replay: N concurrent sweep runs over the same archives (zero refetch, varying worker counts) with per-chain convergence bands appended")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -84,8 +97,14 @@ func main() {
 			os.Exit(code)
 		}
 	}
+	if *parallel < 0 {
+		finish(2, "-parallel must be non-negative")
+	}
+	if *parallel > 0 && *replay == "" {
+		finish(2, "-parallel needs -replay: the sweep replays one archived crawl, it does not refetch")
+	}
 	if *replay != "" {
-		if err := replayArchives(context.Background(), *replay, opts.Workers, os.Stdout); err != nil {
+		if err := replayArchives(context.Background(), *replay, opts.Workers, *parallel, os.Stdout); err != nil {
 			finish(1, err)
 		}
 		finish(0, nil)
@@ -147,14 +166,23 @@ func main() {
 // replayArchives regenerates figures offline from archived raw blocks. dir
 // is either one chain's archive (it holds manifest.json directly) or a
 // parent whose immediate subdirectories are archives, the layout cmd/crawl
-// -archive and the pipeline's ArchiveDir produce. Every archive streams
-// through collect.Stream + core.IngestStream — the full live ingestion
-// path — with the archive Reader standing in for the network client.
-func replayArchives(ctx context.Context, dir string, workers int, out io.Writer) error {
+// -archive and the pipeline's ArchiveDir produce. Every archive replays
+// through core.IngestArchive: segment-granular fan-out, records decoded in
+// place and folded into per-worker shards — the figures are byte-identical
+// to the live crawl's because every aggregate is order-independent.
+//
+// With sweeps > 0 each archive additionally replays `sweeps` times
+// concurrently, each run with a different ingest worker count, and a
+// per-chain convergence band (min/median/max of every figure across the
+// runs) is appended after all figure sections. A deterministic decoder
+// must collapse every band to a point: the sweep is the self-test that no
+// figure depends on scheduling, sharding or worker count.
+func replayArchives(ctx context.Context, dir string, workers, sweeps int, out io.Writer) error {
 	dirs, err := discoverArchives(dir)
 	if err != nil {
 		return err
 	}
+	var bands []core.SummaryBand
 	for _, adir := range dirs {
 		rd, err := archive.Open(adir)
 		if err != nil {
@@ -166,35 +194,82 @@ func replayArchives(ctx context.Context, dir string, workers int, out io.Writer)
 		// window (e.g. a pipeline governance archive, July 2019) clamp
 		// into bucket 0, so such an archive replays correctly but its
 		// bucket percentiles describe one big pre-window bucket.
-		kit, err := core.NewStatsKit(rd.Chain(), chain.ObservationStart, 6*time.Hour)
-		if err != nil {
-			return fmt.Errorf("archive %s: %w", adir, err)
-		}
 		if rd.Blocks() == 0 {
-			fmt.Fprintf(os.Stderr, "replay %s: archive %s is empty\n", kit.Chain, adir)
+			fmt.Fprintf(os.Stderr, "replay %s: archive %s is empty\n", rd.Chain(), adir)
 			continue
 		}
 		// Fail fast on gaps: an interrupted crawl that was never resumed
-		// left holes, and replaying around them would retry each missing
-		// block pointlessly before dying on an arbitrary one.
+		// left holes, and silently replaying around them would skew every
+		// figure.
 		if !rd.Covers(rd.From(), rd.To()) {
 			return fmt.Errorf("archive %s is incomplete: %d blocks in [%d, %d] — resume the crawl that wrote it (same -archive and -checkpoint flags)",
 				adir, rd.Blocks(), rd.From(), rd.To())
 		}
-		res, _, err := core.IngestCrawl(ctx, rd, collect.CrawlConfig{
-			From: rd.From(), To: rd.To(), Workers: workers,
-			MaxRetries: 1, // a local read that failed once will not heal
-		}, kit.Decoder, core.IngestConfig{})
+		runs := sweeps
+		if runs <= 0 {
+			runs = 1
+		}
+		summaries, err := sweepArchive(ctx, rd, adir, runs, workers)
 		if err != nil {
-			return fmt.Errorf("replaying %s: %w", adir, err)
+			return err
 		}
 		// Progress goes to stderr: stdout carries only the deterministic
 		// figures sections, so it can be diffed against a live crawl's.
-		fmt.Fprintf(os.Stderr, "replay %s: %d blocks from %s (%d segments)\n",
-			kit.Chain, res.Blocks, adir, rd.Segments())
-		fmt.Fprint(out, kit.Summarize().Render())
+		fmt.Fprintf(os.Stderr, "replay %s: %d blocks from %s (%d segments, %d sweep run(s))\n",
+			summaries[0].Chain, rd.Blocks(), adir, rd.Segments(), runs)
+		// The first run's section is what a plain replay prints; the
+		// band (when sweeping) asserts the other runs matched it.
+		fmt.Fprint(out, summaries[0].Render())
+		if sweeps > 0 {
+			bands = append(bands, core.BandOf(summaries))
+		}
+	}
+	// Bands land after every figures section so the determinism diff can
+	// cut the stream at the first "=== " line.
+	for _, b := range bands {
+		fmt.Fprint(out, b.Render())
 	}
 	return nil
+}
+
+// sweepArchive replays one opened archive `runs` times concurrently. Every
+// run builds its own aggregator stack but shares the verified Reader (and
+// its decompressed-segment cache), so N runs cost zero refetches and at
+// most one decompression per segment per run. Worker counts vary per run —
+// 1, 2, … up to the CPU count — so a converged band also witnesses
+// worker-count invariance, not just repeatability.
+func sweepArchive(ctx context.Context, rd *archive.Reader, adir string, runs, workers int) ([]core.ChainSummary, error) {
+	maxWorkers := runtime.GOMAXPROCS(0)
+	if workers > 0 {
+		maxWorkers = workers
+	}
+	summaries := make([]core.ChainSummary, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kit, err := core.NewStatsKit(rd.Chain(), chain.ObservationStart, 6*time.Hour)
+			if err != nil {
+				errs[i] = fmt.Errorf("archive %s: %w", adir, err)
+				return
+			}
+			icfg := core.IngestConfig{Workers: 1 + i%maxWorkers}
+			if _, err := core.IngestArchive(ctx, rd, kit.Decoder, icfg); err != nil {
+				errs[i] = fmt.Errorf("replaying %s (seed run %d): %w", adir, i, err)
+				return
+			}
+			summaries[i] = kit.Summarize()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return summaries, nil
 }
 
 // discoverArchives resolves dir to the archive directories under it, in

@@ -453,3 +453,174 @@ func TestSegmentRotationBySize(t *testing.T) {
 		t.Fatal("size-rotated archive incomplete")
 	}
 }
+
+// TestReplayDeliversEachBlockOnce: the parallel replay must visit every
+// distinct block exactly once with the same bytes FetchBlock serves,
+// duplicates (re-archived blocks) included, at every worker count.
+func TestReplayDeliversEachBlockOnce(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(WriterConfig{Dir: dir, Chain: "eos", SegmentBlocks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for num := int64(40); num >= 1; num-- {
+		if err := w.Append(num, payload(num)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-archive a few blocks, as a resumed crawl does; the duplicates
+	// land in later segments and must not be delivered.
+	for _, num := range []int64{40, 17, 3} {
+		if err := w.Append(num, append(payload(num), []byte("-stale")...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5, 16} {
+		var mu sync.Mutex
+		seen := make(map[int64]int)
+		err := r.Replay(context.Background(), workers, func(worker int, num int64, raw []byte) error {
+			if worker < 0 || worker >= workers {
+				return fmt.Errorf("worker index %d out of range", worker)
+			}
+			if !bytes.Equal(raw, payload(num)) {
+				return fmt.Errorf("block %d: replay delivered wrong bytes %q", num, raw)
+			}
+			mu.Lock()
+			seen[num]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if int64(len(seen)) != r.Blocks() {
+			t.Fatalf("workers=%d: visited %d blocks, want %d", workers, len(seen), r.Blocks())
+		}
+		for num, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: block %d visited %d times", workers, num, n)
+			}
+		}
+	}
+}
+
+// TestReplayStopsOnVisitError: the first visit error surfaces and stops
+// the fan-out promptly.
+func TestReplayStopsOnVisitError(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir, "eos", 30, 4)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err = r.Replay(context.Background(), 3, func(worker int, num int64, raw []byte) error {
+		if num == 13 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("visit error not surfaced: %v", err)
+	}
+}
+
+// TestReplayCancelled: a cancelled context surfaces as its error.
+func TestReplayCancelled(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir, "eos", 30, 4)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = r.Replay(ctx, 2, func(worker int, num int64, raw []byte) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled replay returned %v", err)
+	}
+}
+
+// TestReplayDetectsPostOpenTamper: a segment modified after Open fails the
+// replay walk's re-verification on a cache miss instead of feeding stale
+// or corrupt bytes to visitors.
+func TestReplayDetectsPostOpenTamper(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir, "eos", 60, 4) // 15 segments, far beyond the cache
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the Open-seeded cache so every segment takes the miss path.
+	r.mu.Lock()
+	r.cache = make(map[int][]byte)
+	r.order = nil
+	r.mu.Unlock()
+
+	seg := firstSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = r.Replay(context.Background(), 2, func(worker int, num int64, raw []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered segment replayed without ErrCorrupt: %v", err)
+	}
+}
+
+// TestOpenParallelMatchesSerial: any verification fan-out produces the
+// same reader state — index size, bounds, duplicate resolution — as the
+// serial walk.
+func TestOpenParallelMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(WriterConfig{Dir: dir, Chain: "eos", SegmentBlocks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for num := int64(25); num >= 1; num-- {
+		if err := w.Append(num, payload(num)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicates whose first-written copy must win under any fan-out.
+	for _, num := range []int64{25, 9} {
+		if err := w.Append(num, append(payload(num), []byte("-dup")...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := OpenParallel(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 9} {
+		par, err := OpenParallel(dir, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Blocks() != serial.Blocks() || par.From() != serial.From() || par.To() != serial.To() {
+			t.Fatalf("workers=%d: blocks/from/to %d/%d/%d vs serial %d/%d/%d",
+				workers, par.Blocks(), par.From(), par.To(), serial.Blocks(), serial.From(), serial.To())
+		}
+		for num, ref := range serial.index {
+			if par.index[num] != ref {
+				t.Fatalf("workers=%d: block %d indexed at %+v, serial at %+v", workers, num, par.index[num], ref)
+			}
+		}
+	}
+}

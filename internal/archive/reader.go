@@ -9,7 +9,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -47,8 +49,19 @@ type Reader struct {
 // checksum over the compressed bytes, magic, record walk, and agreement
 // with the manifest's block count, bounds and byte totals. Any mismatch
 // fails with an error wrapping ErrCorrupt. A directory without a manifest
-// fails with fs.ErrNotExist.
-func Open(dir string) (*Reader, error) {
+// fails with fs.ErrNotExist. Segments verify concurrently (one worker per
+// CPU); use OpenParallel to pick the worker count explicitly.
+func Open(dir string) (*Reader, error) { return OpenParallel(dir, 0) }
+
+// OpenParallel is Open with an explicit verification fan-out: up to
+// `workers` segments decompress and walk concurrently (0 or less means one
+// per CPU). The result is identical to a serial open — per-segment
+// verdicts are merged in manifest order, so duplicate resolution
+// ("first occurrence wins") and error selection do not depend on worker
+// scheduling — and each verified payload is kept in the reader's segment
+// cache, so replay does not decompress recently verified segments a
+// second time.
+func OpenParallel(dir string, workers int) (*Reader, error) {
 	man, err := loadManifest(dir)
 	if err != nil {
 		return nil, err
@@ -60,55 +73,120 @@ func Open(dir string) (*Reader, error) {
 		cache:    make(map[int][]byte),
 		maxCache: 4,
 	}
-	for i, seg := range man.Segments {
-		if err := r.verifySegment(i, seg); err != nil {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(man.Segments) {
+		workers = len(man.Segments)
+	}
+	type verdict struct {
+		records []segRecord
+		payload []byte
+		err     error
+	}
+	verdicts := make([]verdict, len(man.Segments))
+	next := int64(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(man.Segments) {
+					return
+				}
+				records, payload, err := r.verifySegment(i, man.Segments[i])
+				// Only the newest maxCache payloads are kept for the
+				// cache below; dropping the rest here keeps Open's peak
+				// memory at O(workers + maxCache) segments instead of
+				// the whole uncompressed archive.
+				if i < len(man.Segments)-r.maxCache {
+					payload = nil
+				}
+				verdicts[i] = verdict{records, payload, err}
+			}
+		}()
+	}
+	wg.Wait()
+	// Merge in manifest order: the first error by segment position wins,
+	// and a duplicate block number resolves to its earliest-written record
+	// exactly as the old serial walk resolved it.
+	for i := range verdicts {
+		if err := verdicts[i].err; err != nil {
 			return nil, err
 		}
+	}
+	for i, v := range verdicts {
+		for _, rec := range v.records {
+			if _, dup := r.index[rec.num]; !dup {
+				r.index[rec.num] = recordRef{seg: i, off: rec.off, n: rec.n}
+			}
+			if r.min == 0 || rec.num < r.min {
+				r.min = rec.num
+			}
+			if rec.num > r.max {
+				r.max = rec.num
+			}
+		}
+	}
+	// Seed the payload cache with the newest verified segments: the
+	// reverse-chronological crawl replays them first, and re-reading what
+	// Open just decompressed was the old path's wasted second pass.
+	for i := len(verdicts) - r.maxCache; i < len(verdicts); i++ {
+		if i < 0 {
+			continue
+		}
+		r.cache[i] = verdicts[i].payload
+		r.order = append(r.order, i)
 	}
 	return r, nil
 }
 
-// verifySegment checks one segment against its manifest entry and indexes
-// its records.
-func (r *Reader) verifySegment(i int, seg SegmentInfo) error {
+// segRecord is one verified record's location inside its segment.
+type segRecord struct {
+	num int64
+	off int64
+	n   int32
+}
+
+// verifySegment checks one segment against its manifest entry, returning
+// the records it holds (in write order) and the decompressed payload for
+// the reader's cache. It touches no shared Reader state, so segments
+// verify concurrently.
+func (r *Reader) verifySegment(i int, seg SegmentInfo) ([]segRecord, []byte, error) {
 	path := filepath.Join(r.dir, seg.File)
 	compressed, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return fmt.Errorf("archive: manifest references missing segment %s: %w", seg.File, ErrCorrupt)
+			return nil, nil, fmt.Errorf("archive: manifest references missing segment %s: %w", seg.File, ErrCorrupt)
 		}
-		return err
+		return nil, nil, err
 	}
 	if got := sha256Hex(compressed); got != seg.SHA256 {
-		return fmt.Errorf("archive: segment %s checksum mismatch (manifest %s, file %s — truncated or modified): %w",
+		return nil, nil, fmt.Errorf("archive: segment %s checksum mismatch (manifest %s, file %s — truncated or modified): %w",
 			seg.File, short(seg.SHA256), short(got), ErrCorrupt)
 	}
 	payload, err := decompressSegment(compressed)
 	if err != nil {
-		return fmt.Errorf("archive: segment %s: %v: %w", seg.File, err, ErrCorrupt)
+		return nil, nil, fmt.Errorf("archive: segment %s: %v: %w", seg.File, err, ErrCorrupt)
 	}
 	var (
-		blocks   int64
+		records  []segRecord
 		rawBytes int64
 		min, max int64
 	)
 	for off := int64(0); off < int64(len(payload)); {
 		if int64(len(payload))-off < 12 {
-			return fmt.Errorf("archive: segment %s ends mid-record header: %w", seg.File, ErrCorrupt)
+			return nil, nil, fmt.Errorf("archive: segment %s ends mid-record header: %w", seg.File, ErrCorrupt)
 		}
 		num := int64(binary.BigEndian.Uint64(payload[off : off+8]))
 		n := int64(binary.BigEndian.Uint32(payload[off+8 : off+12]))
 		off += 12
 		if num <= 0 || n > maxRecordBytes || off+n > int64(len(payload)) {
-			return fmt.Errorf("archive: segment %s has a malformed record for block %d: %w", seg.File, num, ErrCorrupt)
+			return nil, nil, fmt.Errorf("archive: segment %s has a malformed record for block %d: %w", seg.File, num, ErrCorrupt)
 		}
-		// First occurrence wins: a duplicate is the same block re-archived
-		// by a resumed crawl (the tee lands before stream delivery, so a
-		// cancellation between the two re-fetches the block).
-		if _, dup := r.index[num]; !dup {
-			r.index[num] = recordRef{seg: i, off: off, n: int32(n)}
-		}
-		blocks++
+		records = append(records, segRecord{num: num, off: off, n: int32(n)})
 		rawBytes += n
 		if min == 0 || num < min {
 			min = num
@@ -118,17 +196,11 @@ func (r *Reader) verifySegment(i int, seg SegmentInfo) error {
 		}
 		off += n
 	}
-	if blocks != seg.Blocks || rawBytes != seg.RawBytes || min != seg.Min || max != seg.Max {
-		return fmt.Errorf("archive: segment %s disagrees with manifest (blocks %d/%d, bytes %d/%d, range [%d,%d]/[%d,%d]): %w",
-			seg.File, blocks, seg.Blocks, rawBytes, seg.RawBytes, min, max, seg.Min, seg.Max, ErrCorrupt)
+	if int64(len(records)) != seg.Blocks || rawBytes != seg.RawBytes || min != seg.Min || max != seg.Max {
+		return nil, nil, fmt.Errorf("archive: segment %s disagrees with manifest (blocks %d/%d, bytes %d/%d, range [%d,%d]/[%d,%d]): %w",
+			seg.File, len(records), seg.Blocks, rawBytes, seg.RawBytes, min, max, seg.Min, seg.Max, ErrCorrupt)
 	}
-	if r.min == 0 || min < r.min {
-		r.min = min
-	}
-	if max > r.max {
-		r.max = max
-	}
-	return nil
+	return records, payload, nil
 }
 
 // gzReaderPool recycles gzip decompressors across segment reads: Open
@@ -232,18 +304,10 @@ func (r *Reader) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
 // collect.RawRecycler contract).
 func (r *Reader) OwnsRaw() bool { return true }
 
-// segmentPayload returns a segment's uncompressed stream, from cache or by
-// re-reading the file. Open already verified the bytes; a file that fails
-// to re-read here was modified after Open.
-func (r *Reader) segmentPayload(i int) ([]byte, error) {
-	r.mu.Lock()
-	if payload, ok := r.cache[i]; ok {
-		r.touchLocked(i)
-		r.mu.Unlock()
-		return payload, nil
-	}
-	r.mu.Unlock()
-
+// loadSegment re-reads and re-verifies segment i from disk. Open already
+// verified the bytes; a file that fails the checksum here was modified
+// after Open.
+func (r *Reader) loadSegment(i int) ([]byte, error) {
 	seg := r.man.Segments[i]
 	compressed, err := os.ReadFile(filepath.Join(r.dir, seg.File))
 	if err != nil {
@@ -256,6 +320,25 @@ func (r *Reader) segmentPayload(i int) ([]byte, error) {
 	payload, err := decompressSegment(compressed)
 	if err != nil {
 		return nil, fmt.Errorf("archive: segment %s: %v: %w", seg.File, err, ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// segmentPayload returns a segment's uncompressed stream, from cache or by
+// re-reading the file, keeping the result cached for the stride-sharded
+// FetchBlock walk that revisits segments many times.
+func (r *Reader) segmentPayload(i int) ([]byte, error) {
+	r.mu.Lock()
+	if payload, ok := r.cache[i]; ok {
+		r.touchLocked(i)
+		r.mu.Unlock()
+		return payload, nil
+	}
+	r.mu.Unlock()
+
+	payload, err := r.loadSegment(i)
+	if err != nil {
+		return nil, err
 	}
 
 	r.mu.Lock()
@@ -273,6 +356,125 @@ func (r *Reader) segmentPayload(i int) ([]byte, error) {
 		delete(r.cache, evict)
 	}
 	return payload, nil
+}
+
+// Replay walks every distinct archived block exactly once, fanning out at
+// segment granularity: up to `workers` goroutines (0 or less means one per
+// CPU) each claim a segment, materialize its payload — from the cache Open
+// seeded, or by one checksum-verified decompression through the pooled
+// gzip readers — and walk its records in place. visit runs concurrently
+// from all workers; the worker index (0 ≤ worker < returned worker count)
+// lets visitors keep per-worker state, e.g. core shards, without locks.
+//
+// raw aliases the segment's decompressed payload and is only valid for the
+// duration of the call — visitors must copy (or decode, the wire codecs
+// copy every string they keep) before returning. Duplicate records (a
+// block re-archived by a resumed crawl) are delivered exactly once, from
+// the same earliest-written record FetchBlock would serve, so a Replay and
+// a FetchBlock walk see byte-identical payload sets. The first visit error
+// stops the replay; a cancelled ctx surfaces as its error.
+func (r *Reader) Replay(ctx context.Context, workers int, visit func(worker int, num int64, raw []byte) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(r.man.Segments) {
+		workers = len(r.man.Segments)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int64
+		failed   atomic.Bool
+		firstErr onceReplayError
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(r.man.Segments) {
+					return
+				}
+				if err := r.replaySegment(ctx, worker, i, visit); err != nil {
+					firstErr.set(err)
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// replaySegment walks one segment's records, delivering each block this
+// segment owns (per the duplicate-resolved index) to visit.
+func (r *Reader) replaySegment(ctx context.Context, worker, i int, visit func(worker int, num int64, raw []byte) error) error {
+	payload, err := r.replayPayload(i)
+	if err != nil {
+		return err
+	}
+	for off := int64(0); off < int64(len(payload)); {
+		if ctx.Err() != nil {
+			return nil // surfaced by Replay
+		}
+		// Headers were verified by Open; the walk only re-derives offsets.
+		num := int64(binary.BigEndian.Uint64(payload[off : off+8]))
+		n := int64(binary.BigEndian.Uint32(payload[off+8 : off+12]))
+		off += 12
+		// Deliver only the record the duplicate-resolved index owns: a
+		// block re-archived by a resumed crawl replays exactly once.
+		if ref, ok := r.index[num]; ok && ref.seg == i && ref.off == off {
+			if err := visit(worker, num, payload[off:off+n]); err != nil {
+				return err
+			}
+		}
+		off += n
+	}
+	return nil
+}
+
+// replayPayload returns segment i's uncompressed stream for a one-shot
+// replay walk: a cache hit is served as-is, but a miss decompresses
+// without inserting — each segment is walked exactly once per Replay, so
+// caching it would only evict the segments the FetchBlock path still
+// revisits.
+func (r *Reader) replayPayload(i int) ([]byte, error) {
+	r.mu.Lock()
+	if payload, ok := r.cache[i]; ok {
+		r.touchLocked(i)
+		r.mu.Unlock()
+		return payload, nil
+	}
+	r.mu.Unlock()
+	return r.loadSegment(i)
+}
+
+// onceReplayError keeps the first replay error (visit errors race from
+// several workers).
+type onceReplayError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (o *onceReplayError) set(err error) {
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+func (o *onceReplayError) get() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
 }
 
 // touchLocked moves segment i to the back of the eviction order.

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SummaryBand aggregates one chain's ChainSummary across a sweep
+// (cmd/report -parallel): for every figure it records the min, median and
+// max observed across the runs, and whether the runs converged — i.e.
+// rendered byte-identical figures. A deterministic decoder replaying one
+// archive must collapse the band to a point no matter how many shards or
+// workers each run used; a spread band is the sweep's signal that some
+// aggregate depends on ingestion order and is therefore not trustworthy
+// as a "figure".
+type SummaryBand struct {
+	Chain string
+	Runs  int
+	// Converged reports that every run's Render was byte-identical.
+	Converged bool
+	// Distinct counts the distinct rendered figure sections observed.
+	Distinct int
+	Metrics  []BandMetric
+}
+
+// BandMetric is one figure's min/median/max across the sweep.
+type BandMetric struct {
+	Name          string
+	Min, Med, Max float64
+	// Integer marks counts, which render without decimals.
+	Integer bool
+}
+
+// BandOf folds N runs' summaries of the same chain into a band. Runs must
+// be non-empty; their order is irrelevant — min/median/max are order-free.
+func BandOf(runs []ChainSummary) SummaryBand {
+	b := SummaryBand{Chain: runs[0].Chain, Runs: len(runs)}
+
+	renders := make(map[string]bool, len(runs))
+	for _, r := range runs {
+		renders[r.Render()] = true
+	}
+	b.Distinct = len(renders)
+	b.Converged = len(renders) == 1
+
+	add := func(name string, integer bool, value func(ChainSummary) float64) {
+		vals := make([]float64, len(runs))
+		for i, r := range runs {
+			vals[i] = value(r)
+		}
+		sort.Float64s(vals)
+		b.Metrics = append(b.Metrics, BandMetric{
+			Name:    name,
+			Min:     vals[0],
+			Med:     vals[len(vals)/2],
+			Max:     vals[len(vals)-1],
+			Integer: integer,
+		})
+	}
+
+	add("blocks", true, func(s ChainSummary) float64 { return float64(s.Blocks) })
+	add("txs/ops", true, func(s ChainSummary) float64 { return float64(s.Transactions) })
+	add("observed tps", false, func(s ChainSummary) float64 {
+		if s.First.IsZero() || s.Blocks == 0 {
+			return 0
+		}
+		return ObservedTPS(s.Transactions, s.First, s.Last)
+	})
+
+	// Union of type rows across runs, sorted by name so the band table is
+	// stable whatever the per-run orderings were.
+	names := make(map[string]bool)
+	for _, r := range runs {
+		for name := range r.TypeCounts {
+			names[name] = true
+		}
+	}
+	typeNames := make([]string, 0, len(names))
+	for name := range names {
+		typeNames = append(typeNames, name)
+	}
+	sort.Strings(typeNames)
+	for _, name := range typeNames {
+		name := name
+		add("type "+name, true, func(s ChainSummary) float64 { return float64(s.TypeCounts[name]) })
+	}
+	return b
+}
+
+// Render formats the band as the "=== <chain> convergence band ==="
+// section cmd/report -parallel prints after the figures. The final "band:"
+// line is the machine-greppable verdict the CI smoke asserts on: "point"
+// when every run rendered byte-identical figures, "spread" otherwise.
+func (b SummaryBand) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s convergence band (%d runs) ===\n", b.Chain, b.Runs)
+	for _, m := range b.Metrics {
+		if m.Integer {
+			fmt.Fprintf(&sb, "%-28s min %d / med %d / max %d\n",
+				m.Name+":", int64(m.Min), int64(m.Med), int64(m.Max))
+		} else {
+			fmt.Fprintf(&sb, "%-28s min %.3f / med %.3f / max %.3f\n",
+				m.Name+":", m.Min, m.Med, m.Max)
+		}
+	}
+	if b.Converged {
+		fmt.Fprintf(&sb, "band: point (all %d runs byte-identical)\n", b.Runs)
+	} else {
+		fmt.Fprintf(&sb, "band: spread (%d distinct renders across %d runs)\n", b.Distinct, b.Runs)
+	}
+	return sb.String()
+}

@@ -40,19 +40,25 @@ const (
 	EOSCatOthers   EOSCategory = "Others"
 )
 
-// EOSAggregator ingests crawled EOS blocks and accumulates every statistic
-// the paper reports for EOS (Figures 1, 2, 3a, 4, 5 and the §4.1 case
-// studies).
-type EOSAggregator struct {
-	mu sync.Mutex
-
+// EOSShard is the mutable aggregate state for a partition of EOS blocks.
+// A shard is owned by exactly one goroutine (no internal locking); shards
+// over disjoint block sets merge with Merge, and because every statistic a
+// shard keeps is order-independent (counters, count maps, time buckets,
+// unordered trade sets), folding the same blocks through any number of
+// shards in any interleaving produces the same aggregate. EOSAggregator
+// wraps one shard behind a mutex for callers that want the classic shared
+// aggregator surface.
+type EOSShard struct {
 	// TokenContracts are accounts implementing the standard token
 	// interface; their "transfer" actions count as P2P transactions.
+	// Shards spawned from one aggregator share these read-only tables.
 	TokenContracts map[string]bool
 	// ContractLabels maps the top contracts to app categories (Betting,
 	// Games, Tokens, Exchange, Pornography, Others) for Figure 3a. The
 	// paper labeled the top 100 contracts manually.
 	ContractLabels map[string]string
+	// EIDOSContract is the boomerang case-study contract.
+	EIDOSContract string
 
 	Blocks       int64
 	Transactions int64
@@ -68,26 +74,39 @@ type EOSAggregator struct {
 	// SentPairs counts sender→receiver(contract) actions (Figure 5).
 	SentPairs map[string]map[string]int64
 
-	// Wash-trade inputs: every verifytrade2-style DEX settlement.
+	// Wash-trade inputs: every verifytrade2-style DEX settlement. The
+	// slice order depends on ingestion interleaving, but every consumer
+	// (AnalyzeWashTrades) reduces it order-independently.
 	Trades []DEXTrade
 	// Boomerang inputs: transfer legs per transaction for §4.1.
 	boomerangs int64
 	// EIDOS bookkeeping.
-	EIDOSContract string
-	eidosActions  int64
+	eidosActions int64
 
 	// VolumeBySymbol sums transferred token amounts per symbol — the
 	// paper's "financial volume" dimension of throughput. Boomerang
 	// volume (EOS merely bounced off the EIDOS contract) is tracked
 	// separately to show how much of the apparent volume is circular.
+	// Float sums round with accumulation order, so these two are
+	// progress-line material, never part of the deterministic figures.
 	VolumeBySymbol  map[string]float64
 	BoomerangVolume float64
 
 	FirstBlockTime, LastBlockTime time.Time
 
-	// legScratch is reused (under mu) for per-transaction transfer legs,
-	// keeping the boomerang check allocation-free per transaction.
+	// legScratch is reused for per-transaction transfer legs, keeping the
+	// boomerang check allocation-free per transaction.
 	legScratch []transferLeg
+}
+
+// EOSAggregator ingests crawled EOS blocks and accumulates every statistic
+// the paper reports for EOS (Figures 1, 2, 3a, 4, 5 and the §4.1 case
+// studies). It is a thin locked wrapper around one EOSShard; concurrent
+// writers either share it (IngestBlocks batches under the lock) or fold
+// into private shards from NewShard and MergeShard once at drain.
+type EOSAggregator struct {
+	mu sync.Mutex
+	EOSShard
 }
 
 // DEXTrade is one settled on-chain trade (WhaleEx verifytrade2).
@@ -100,7 +119,7 @@ type DEXTrade struct {
 // NewEOSAggregator builds an aggregator with the default labeling used
 // throughout the repo (matching the simulated workload's contracts).
 func NewEOSAggregator(origin time.Time, bucket time.Duration) *EOSAggregator {
-	return &EOSAggregator{
+	a := &EOSAggregator{EOSShard: EOSShard{
 		TokenContracts: map[string]bool{
 			"eosio.token": true, "eidosonecoin": true, "lynxtoken123": true,
 		},
@@ -117,14 +136,104 @@ func NewEOSAggregator(origin time.Time, bucket time.Duration) *EOSAggregator {
 			"pornhashbaby": "Pornography",
 			"eossanguoone": "Games",
 		},
-		EIDOSContract:      "eidosonecoin",
-		ActionsByName:      make(map[string]int64),
-		ActionsByCategory:  make(map[EOSCategory]int64),
-		Series:             stats.NewTimeSeries(origin, bucket),
-		ReceivedByContract: make(map[string]map[string]int64),
-		SentPairs:          make(map[string]map[string]int64),
-		VolumeBySymbol:     make(map[string]float64),
+		EIDOSContract: "eidosonecoin",
+	}}
+	a.EOSShard.init(origin, bucket)
+	return a
+}
+
+// init allocates a shard's mutable containers, leaving the shared
+// classification tables to the caller.
+func (s *EOSShard) init(origin time.Time, bucket time.Duration) {
+	s.ActionsByName = make(map[string]int64)
+	s.ActionsByCategory = make(map[EOSCategory]int64)
+	s.Series = stats.NewTimeSeries(origin, bucket)
+	s.ReceivedByContract = make(map[string]map[string]int64)
+	s.SentPairs = make(map[string]map[string]int64)
+	s.VolumeBySymbol = make(map[string]float64)
+}
+
+// NewShard spawns an empty shard sharing the aggregator's read-only
+// classification tables and series geometry. The caller owns it exclusively
+// until MergeShard.
+func (a *EOSAggregator) NewShard() *EOSShard {
+	s := &EOSShard{
+		TokenContracts: a.TokenContracts,
+		ContractLabels: a.ContractLabels,
+		EIDOSContract:  a.EIDOSContract,
 	}
+	s.init(a.Series.Origin(), a.Series.Width())
+	return s
+}
+
+// MergeShard folds a privately-owned shard into the aggregator under one
+// lock acquisition and resets it. Merging shards in any order yields the
+// same aggregate: every shard statistic is a sum, a count map, a time
+// bucket or an unordered record set.
+func (a *EOSAggregator) MergeShard(s *EOSShard) {
+	a.mu.Lock()
+	a.EOSShard.Merge(s)
+	a.mu.Unlock()
+}
+
+// mergeCounts adds src's counters into dst.
+func mergeCounts[K comparable](dst, src map[K]int64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// mergeNested adds src's nested counters into dst.
+func mergeNested(dst, src map[string]map[string]int64) {
+	for outer, m := range src {
+		d := dst[outer]
+		if d == nil {
+			d = make(map[string]int64, len(m))
+			dst[outer] = d
+		}
+		for inner, v := range m {
+			d[inner] += v
+		}
+	}
+}
+
+// mergeWindow widens (first, last) to cover (f, l).
+func mergeWindow(first, last *time.Time, f, l time.Time) {
+	if !f.IsZero() && (first.IsZero() || f.Before(*first)) {
+		*first = f
+	}
+	if l.After(*last) {
+		*last = l
+	}
+}
+
+// Merge folds src into s. src must cover blocks disjoint from s's (each
+// block ingested into exactly one shard); afterwards src is reset so a
+// stale alias cannot double-merge it.
+func (s *EOSShard) Merge(src *EOSShard) {
+	s.Blocks += src.Blocks
+	s.Transactions += src.Transactions
+	s.Actions += src.Actions
+	mergeCounts(s.ActionsByName, src.ActionsByName)
+	mergeCounts(s.ActionsByCategory, src.ActionsByCategory)
+	s.Series.Merge(src.Series)
+	mergeNested(s.ReceivedByContract, src.ReceivedByContract)
+	mergeNested(s.SentPairs, src.SentPairs)
+	s.Trades = append(s.Trades, src.Trades...)
+	s.boomerangs += src.boomerangs
+	s.eidosActions += src.eidosActions
+	for sym, v := range src.VolumeBySymbol {
+		s.VolumeBySymbol[sym] += v
+	}
+	s.BoomerangVolume += src.BoomerangVolume
+	mergeWindow(&s.FirstBlockTime, &s.LastBlockTime, src.FirstBlockTime, src.LastBlockTime)
+	origin, width := src.Series.Origin(), src.Series.Width()
+	*src = EOSShard{
+		TokenContracts: src.TokenContracts,
+		ContractLabels: src.ContractLabels,
+		EIDOSContract:  src.EIDOSContract,
+	}
+	src.init(origin, width)
 }
 
 // eosBlockTime parses the nodeos timestamp format.
@@ -154,13 +263,32 @@ func (a *EOSAggregator) IngestBlocks(bs []*rpcserve.EOSBlockJSON) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for i, b := range bs {
-		a.ingestLocked(b, times[i])
+		a.EOSShard.ingest(b, times[i])
 	}
 	return nil
 }
 
-// ingestLocked folds one block; callers hold a.mu.
-func (a *EOSAggregator) ingestLocked(b *rpcserve.EOSBlockJSON, ts time.Time) {
+// IngestBlocks folds a batch into a privately-owned shard — no locking; the
+// shard's owner is the only writer. A malformed block fails the whole batch
+// without ingesting any of it.
+func (s *EOSShard) IngestBlocks(bs []*rpcserve.EOSBlockJSON) error {
+	times := make([]time.Time, len(bs))
+	for i, b := range bs {
+		ts, err := eosBlockTime(b.Timestamp)
+		if err != nil {
+			return err
+		}
+		times[i] = ts
+	}
+	for i, b := range bs {
+		s.ingest(b, times[i])
+	}
+	return nil
+}
+
+// ingest folds one block into the shard; the caller owns the shard (for an
+// aggregator's embedded shard, that means holding a.mu).
+func (a *EOSShard) ingest(b *rpcserve.EOSBlockJSON, ts time.Time) {
 	a.Blocks++
 	if a.FirstBlockTime.IsZero() || ts.Before(a.FirstBlockTime) {
 		a.FirstBlockTime = ts
@@ -247,14 +375,14 @@ func isBoomerang(legs []transferLeg) bool {
 
 // figure1Name maps an action to its Figure 1 row: system-contract and
 // token-contract actions keep their name, everything else is "others".
-func (a *EOSAggregator) figure1Name(act rpcserve.EOSActionJSON) string {
+func (a *EOSShard) figure1Name(act rpcserve.EOSActionJSON) string {
 	if act.Account == "eosio" || a.TokenContracts[act.Account] {
 		return act.Name
 	}
 	return "others"
 }
 
-func (a *EOSAggregator) classify(act rpcserve.EOSActionJSON) EOSCategory {
+func (a *EOSShard) classify(act rpcserve.EOSActionJSON) EOSCategory {
 	if a.TokenContracts[act.Account] && act.Name == "transfer" {
 		return EOSCatTransfer
 	}
@@ -274,7 +402,7 @@ func (a *EOSAggregator) classify(act rpcserve.EOSActionJSON) EOSCategory {
 }
 
 // label resolves the contract's app category for the Figure 3a series.
-func (a *EOSAggregator) label(contract string) string {
+func (a *EOSShard) label(contract string) string {
 	if l, ok := a.ContractLabels[contract]; ok {
 		return l
 	}

@@ -29,6 +29,27 @@ type Decoder interface {
 	IngestBatch(batch []any) error
 }
 
+// Shard is one ingest worker's private, lock-free accumulator. IngestBatch
+// folds decoded blocks in without any synchronization — exactly one
+// goroutine owns a Shard between NewShard and Merge — and Merge folds the
+// shard into its parent aggregator (one lock acquisition) and resets it.
+// Because every aggregate the shards keep is order-independent, any
+// partition of blocks across any number of shards merges to the same
+// result (see DESIGN.md "sharded aggregation & merge semantics").
+type Shard interface {
+	IngestBatch(batch []any) error
+	Merge()
+}
+
+// ShardedDecoder is implemented by Decoders whose aggregator can hand out
+// mergeable shards. IngestStream and IngestArchive give each worker its own
+// shard, deleting the per-batch aggregator lock from the hot path: the only
+// lock acquisitions left are the per-worker merges at drain.
+type ShardedDecoder interface {
+	Decoder
+	NewShard() Shard
+}
+
 // BatchReleaser is implemented by Decoders whose decoded values come from
 // a reusable arena (wire.GetEOSBlock and friends). After IngestBatch has
 // folded a batch in, the ingest pool hands the values back through
@@ -95,6 +116,26 @@ func (d EOSDecoder) ReleaseBatch(batch []any) {
 	}
 }
 
+// NewShard hands one ingest worker a private EOS shard.
+func (d EOSDecoder) NewShard() Shard {
+	return &eosShardSink{agg: d.Agg, shard: d.Agg.NewShard()}
+}
+
+type eosShardSink struct {
+	agg   *EOSAggregator
+	shard *EOSShard
+}
+
+func (s *eosShardSink) IngestBatch(batch []any) error {
+	blocks := make([]*rpcserve.EOSBlockJSON, len(batch))
+	for i, b := range batch {
+		blocks[i] = b.(*rpcserve.EOSBlockJSON)
+	}
+	return s.shard.IngestBlocks(blocks)
+}
+
+func (s *eosShardSink) Merge() { s.agg.MergeShard(s.shard) }
+
 // TezosDecoder drives a TezosAggregator from raw octez-style block JSON.
 type TezosDecoder struct{ Agg *TezosAggregator }
 
@@ -128,6 +169,26 @@ func (d TezosDecoder) ReleaseBatch(batch []any) {
 		wire.PutTezosBlock(b.(*rpcserve.TezosBlockJSON))
 	}
 }
+
+// NewShard hands one ingest worker a private Tezos shard.
+func (d TezosDecoder) NewShard() Shard {
+	return &tezosShardSink{agg: d.Agg, shard: d.Agg.NewShard()}
+}
+
+type tezosShardSink struct {
+	agg   *TezosAggregator
+	shard *TezosShard
+}
+
+func (s *tezosShardSink) IngestBatch(batch []any) error {
+	blocks := make([]*rpcserve.TezosBlockJSON, len(batch))
+	for i, b := range batch {
+		blocks[i] = b.(*rpcserve.TezosBlockJSON)
+	}
+	return s.shard.IngestBlocks(blocks)
+}
+
+func (s *tezosShardSink) Merge() { s.agg.MergeShard(s.shard) }
 
 // XRPDecoder drives an XRPAggregator from raw rippled ledger envelopes.
 type XRPDecoder struct{ Agg *XRPAggregator }
@@ -163,6 +224,26 @@ func (d XRPDecoder) ReleaseBatch(batch []any) {
 	}
 }
 
+// NewShard hands one ingest worker a private XRP shard.
+func (d XRPDecoder) NewShard() Shard {
+	return &xrpShardSink{agg: d.Agg, shard: d.Agg.NewShard()}
+}
+
+type xrpShardSink struct {
+	agg   *XRPAggregator
+	shard *XRPShard
+}
+
+func (s *xrpShardSink) IngestBatch(batch []any) error {
+	ledgers := make([]*rpcserve.XRPLedgerJSON, len(batch))
+	for i, l := range batch {
+		ledgers[i] = l.(*rpcserve.XRPLedgerJSON)
+	}
+	return s.shard.IngestLedgers(ledgers)
+}
+
+func (s *xrpShardSink) Merge() { s.agg.MergeShard(s.shard) }
+
 // IngestConfig sizes the decode/ingest pool behind IngestStream.
 type IngestConfig struct {
 	// Workers is the number of decode goroutines (default 2). Decoding is
@@ -186,9 +267,12 @@ func (c IngestConfig) withDefaults() IngestConfig {
 }
 
 // IngestStream drains a crawl stream through a pool of cfg.Workers decode
-// goroutines, each folding its blocks into the aggregator in batches of
-// cfg.Batch per lock acquisition. It returns the number of blocks ingested
-// and the first decode/ingest error.
+// goroutines. When the Decoder is a ShardedDecoder (all three chains), each
+// worker folds its blocks into a private shard — zero lock acquisitions on
+// the hot path — and the shards merge into the aggregator in worker order
+// once the stream drains; otherwise each worker batch-ingests under the
+// aggregator lock, cfg.Batch blocks per acquisition. It returns the number
+// of blocks ingested and the first decode/ingest error.
 //
 // Cancellation is driven by the stream itself: when ctx is cancelled the
 // crawl workers stop and close the channel, and IngestStream deliberately
@@ -207,17 +291,29 @@ func IngestStream(ctx context.Context, blocks <-chan collect.Block, d Decoder, c
 		firstErr atomic.Value
 		failed   atomic.Bool
 	)
+	sharded, _ := d.(ShardedDecoder)
+	// Per-worker shards, merged below in worker order — the merge order is
+	// fixed even though workers finish in any order, so the only scheduling
+	// freedom left is which worker ingested which block, and shard merges
+	// are insensitive to exactly that.
+	shards := make([]Shard, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			sink := Decoder(d)
+			if sharded != nil {
+				shard := sharded.NewShard()
+				shards[w] = shard
+				sink = shardDecoder{d, shard}
+			}
 			releaser, _ := d.(BatchReleaser)
 			batch := make([]any, 0, cfg.Batch)
 			flush := func() error {
 				if len(batch) == 0 {
 					return nil
 				}
-				if err := d.IngestBatch(batch); err != nil {
+				if err := sink.IngestBatch(batch); err != nil {
 					return err
 				}
 				atomic.AddInt64(&ingested, int64(len(batch)))
@@ -256,14 +352,31 @@ func IngestStream(ctx context.Context, blocks <-chan collect.Block, d Decoder, c
 				firstErr.CompareAndSwap(nil, err)
 				failed.Store(true)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	// Merge even after an error: batches already folded into shards mirror
+	// batches the locked path would already have applied, so the partial
+	// aggregate looks the same either way.
+	for _, s := range shards {
+		if s != nil {
+			s.Merge()
+		}
+	}
 	if err, ok := firstErr.Load().(error); ok && err != nil {
 		return atomic.LoadInt64(&ingested), err
 	}
 	return atomic.LoadInt64(&ingested), nil
 }
+
+// shardDecoder routes a worker's IngestBatch calls to its private shard
+// while delegating Decode to the shared decoder.
+type shardDecoder struct {
+	Decoder
+	shard Shard
+}
+
+func (s shardDecoder) IngestBatch(batch []any) error { return s.shard.IngestBatch(batch) }
 
 // ErrIngest marks errors that came from the decode/ingest side of
 // IngestCrawl rather than the crawl itself. Callers that persist

@@ -57,6 +57,22 @@ func (d *SpamClusterDetector) ObserveActivation(parent, child string, ts time.Ti
 	d.activated[child] = ts
 }
 
+// Merge folds another detector's observations in, deterministically: when
+// both saw an activation for the same child, the earlier one wins (an
+// account is activated once; later sightings are replays), with the
+// lexicographically smaller parent breaking exact-time ties so the merged
+// state never depends on merge order.
+func (d *SpamClusterDetector) Merge(other *SpamClusterDetector) {
+	for child, parent := range other.parentOf {
+		ts := other.activated[child]
+		cur, seen := d.activated[child]
+		if !seen || ts.Before(cur) || (ts.Equal(cur) && parent < d.parentOf[child]) {
+			d.parentOf[child] = parent
+			d.activated[child] = ts
+		}
+	}
+}
+
 // Detect analyses the aggregator's payments and returns clusters sorted by
 // member count (largest first).
 func (d *SpamClusterDetector) Detect(payments []XRPPaymentView) []SpamCluster {

@@ -169,3 +169,40 @@ func TestSpamClusterEndToEnd(t *testing.T) {
 		t.Fatalf("hub BTC should be valueless: %+v", clusters[0])
 	}
 }
+
+// TestSpamClusterDetectorMerge: merging detectors is deterministic — the
+// earliest activation wins, exact-time ties break to the smaller parent —
+// so merge order never changes what Detect reports.
+func TestSpamClusterDetectorMerge(t *testing.T) {
+	t0 := time.Date(2019, time.October, 5, 0, 0, 0, 0, time.UTC)
+	build := func(obs ...[3]string) *SpamClusterDetector {
+		d := NewSpamClusterDetector()
+		for _, o := range obs {
+			offset, _ := time.ParseDuration(o[2])
+			d.ObserveActivation(o[0], o[1], t0.Add(offset))
+		}
+		return d
+	}
+	// a saw child1 first; b re-saw child1 later under another parent and
+	// saw child2 at the exact same instant a did, under a smaller parent.
+	a := build([3]string{"hubA", "child1", "1h"}, [3]string{"hubB", "child2", "5h"})
+	b := build([3]string{"hubC", "child1", "9h"}, [3]string{"hubA", "child2", "5h"})
+
+	check := func(d *SpamClusterDetector) {
+		t.Helper()
+		if d.parentOf["child1"] != "hubA" || !d.activated["child1"].Equal(t0.Add(time.Hour)) {
+			t.Fatalf("child1: parent %q at %v, want hubA at +1h", d.parentOf["child1"], d.activated["child1"])
+		}
+		if d.parentOf["child2"] != "hubA" {
+			t.Fatalf("child2 tie broke to %q, want hubA (lexicographically smaller)", d.parentOf["child2"])
+		}
+	}
+	ab := build()
+	ab.Merge(a)
+	ab.Merge(b)
+	check(ab)
+	ba := build()
+	ba.Merge(b)
+	ba.Merge(a)
+	check(ba)
+}

@@ -9,12 +9,10 @@ import (
 	"repro/internal/stats"
 )
 
-// TezosAggregator ingests crawled Tezos blocks and accumulates Figure 1's
-// operation-kind distribution, Figure 3b's throughput series, Figure 6's
-// top-sender fan-out statistics and Figure 9's governance vote series.
-type TezosAggregator struct {
-	mu sync.Mutex
-
+// TezosShard is the mutable aggregate state for a partition of Tezos
+// blocks: one goroutine owns it, disjoint shards merge with Merge, and all
+// of its statistics are order-independent (see EOSShard).
+type TezosShard struct {
 	Blocks     int64
 	Operations int64
 
@@ -25,10 +23,21 @@ type TezosAggregator struct {
 	// (Figure 6 derives fan-out statistics from it).
 	sentTo map[string]map[string]int64
 
-	// Governance events in block order (Figure 9).
+	// Governance events (Figure 9). Slice order follows ingestion
+	// interleaving; VoteSeries reduces it into time buckets
+	// order-independently.
 	Votes []GovernanceVote
 
 	FirstBlockTime, LastBlockTime time.Time
+}
+
+// TezosAggregator ingests crawled Tezos blocks and accumulates Figure 1's
+// operation-kind distribution, Figure 3b's throughput series, Figure 6's
+// top-sender fan-out statistics and Figure 9's governance vote series. It
+// is a thin locked wrapper around one TezosShard (see EOSAggregator).
+type TezosAggregator struct {
+	mu sync.Mutex
+	TezosShard
 }
 
 // GovernanceVote is one proposals/ballot operation as observed on chain.
@@ -44,11 +53,46 @@ type GovernanceVote struct {
 
 // NewTezosAggregator builds an empty aggregator.
 func NewTezosAggregator(origin time.Time, bucket time.Duration) *TezosAggregator {
-	return &TezosAggregator{
-		OpsByKind: make(map[string]int64),
-		Series:    stats.NewTimeSeries(origin, bucket),
-		sentTo:    make(map[string]map[string]int64),
-	}
+	a := &TezosAggregator{}
+	a.TezosShard.init(origin, bucket)
+	return a
+}
+
+// init allocates a shard's mutable containers.
+func (s *TezosShard) init(origin time.Time, bucket time.Duration) {
+	s.OpsByKind = make(map[string]int64)
+	s.Series = stats.NewTimeSeries(origin, bucket)
+	s.sentTo = make(map[string]map[string]int64)
+}
+
+// NewShard spawns an empty shard with the aggregator's series geometry,
+// exclusively owned by the caller until MergeShard.
+func (a *TezosAggregator) NewShard() *TezosShard {
+	s := &TezosShard{}
+	s.init(a.Series.Origin(), a.Series.Width())
+	return s
+}
+
+// MergeShard folds a privately-owned shard into the aggregator under one
+// lock acquisition and resets it.
+func (a *TezosAggregator) MergeShard(s *TezosShard) {
+	a.mu.Lock()
+	a.TezosShard.Merge(s)
+	a.mu.Unlock()
+}
+
+// Merge folds src (covering disjoint blocks) into s and resets src.
+func (s *TezosShard) Merge(src *TezosShard) {
+	s.Blocks += src.Blocks
+	s.Operations += src.Operations
+	mergeCounts(s.OpsByKind, src.OpsByKind)
+	s.Series.Merge(src.Series)
+	mergeNested(s.sentTo, src.sentTo)
+	s.Votes = append(s.Votes, src.Votes...)
+	mergeWindow(&s.FirstBlockTime, &s.LastBlockTime, src.FirstBlockTime, src.LastBlockTime)
+	origin, width := src.Series.Origin(), src.Series.Width()
+	*src = TezosShard{}
+	src.init(origin, width)
 }
 
 // IngestBlock folds one crawled block into the aggregate. Safe for
@@ -72,13 +116,30 @@ func (a *TezosAggregator) IngestBlocks(bs []*rpcserve.TezosBlockJSON) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for i, b := range bs {
-		a.ingestLocked(b, times[i])
+		a.TezosShard.ingest(b, times[i])
 	}
 	return nil
 }
 
-// ingestLocked folds one block; callers hold a.mu.
-func (a *TezosAggregator) ingestLocked(b *rpcserve.TezosBlockJSON, ts time.Time) {
+// IngestBlocks folds a batch into a privately-owned shard — no locking. A
+// malformed block fails the whole batch without ingesting any of it.
+func (s *TezosShard) IngestBlocks(bs []*rpcserve.TezosBlockJSON) error {
+	times := make([]time.Time, len(bs))
+	for i, b := range bs {
+		ts, err := time.Parse(time.RFC3339, b.Timestamp)
+		if err != nil {
+			return err
+		}
+		times[i] = ts
+	}
+	for i, b := range bs {
+		s.ingest(b, times[i])
+	}
+	return nil
+}
+
+// ingest folds one block into the shard; the caller owns the shard.
+func (a *TezosShard) ingest(b *rpcserve.TezosBlockJSON, ts time.Time) {
 	a.Blocks++
 	if a.FirstBlockTime.IsZero() || ts.Before(a.FirstBlockTime) {
 		a.FirstBlockTime = ts

@@ -11,14 +11,11 @@ import (
 	"repro/internal/xrp"
 )
 
-// XRPAggregator ingests crawled XRP ledgers plus the explorer's exchange
-// records and reproduces the paper's XRP analysis: Figure 1's type
-// distribution, Figure 3c's throughput series, Figure 7's value
-// decomposition, Figure 8's most-active accounts, Figure 11's IOU rate
-// tables and Figure 12's value flows.
-type XRPAggregator struct {
-	mu sync.Mutex
-
+// XRPShard is the mutable aggregate state for a partition of XRP ledgers:
+// one goroutine owns it, disjoint shards merge with Merge, and all of its
+// statistics are order-independent (see EOSShard). Exchange records from
+// the explorer land on the owning aggregator, not on decode shards.
+type XRPShard struct {
 	Ledgers      int64
 	Transactions int64
 	Failed       int64
@@ -30,7 +27,8 @@ type XRPAggregator struct {
 	// Per-account activity for Figure 8.
 	byAccount map[string]*xrpAccountAgg
 
-	// Payment records for value analysis.
+	// Payment records for value analysis. Slice order follows ingestion
+	// interleaving; every consumer reduces it order-independently.
 	payments []xrpPayment
 
 	// Offer bookkeeping for the 0.2 % fulfillment statistic.
@@ -41,6 +39,17 @@ type XRPAggregator struct {
 	exchanges []xrp.Exchange
 
 	FirstLedgerTime, LastLedgerTime time.Time
+}
+
+// XRPAggregator ingests crawled XRP ledgers plus the explorer's exchange
+// records and reproduces the paper's XRP analysis: Figure 1's type
+// distribution, Figure 3c's throughput series, Figure 7's value
+// decomposition, Figure 8's most-active accounts, Figure 11's IOU rate
+// tables and Figure 12's value flows. It is a thin locked wrapper around
+// one XRPShard (see EOSAggregator).
+type XRPAggregator struct {
+	mu sync.Mutex
+	XRPShard
 }
 
 type offerRef struct {
@@ -74,14 +83,68 @@ type xrpPayment struct {
 
 // NewXRPAggregator builds an empty aggregator.
 func NewXRPAggregator(origin time.Time, bucket time.Duration) *XRPAggregator {
-	return &XRPAggregator{
-		TxByType:       make(map[string]int64),
-		TxByResult:     make(map[string]int64),
-		Series:         stats.NewTimeSeries(origin, bucket),
-		byAccount:      make(map[string]*xrpAccountAgg),
-		offersExecuted: make(map[offerRef]bool),
-		restingOffers:  make(map[offerRef]bool),
+	a := &XRPAggregator{}
+	a.XRPShard.init(origin, bucket)
+	return a
+}
+
+// init allocates a shard's mutable containers.
+func (s *XRPShard) init(origin time.Time, bucket time.Duration) {
+	s.TxByType = make(map[string]int64)
+	s.TxByResult = make(map[string]int64)
+	s.Series = stats.NewTimeSeries(origin, bucket)
+	s.byAccount = make(map[string]*xrpAccountAgg)
+	s.offersExecuted = make(map[offerRef]bool)
+	s.restingOffers = make(map[offerRef]bool)
+}
+
+// NewShard spawns an empty shard with the aggregator's series geometry,
+// exclusively owned by the caller until MergeShard.
+func (a *XRPAggregator) NewShard() *XRPShard {
+	s := &XRPShard{}
+	s.init(a.Series.Origin(), a.Series.Width())
+	return s
+}
+
+// MergeShard folds a privately-owned shard into the aggregator under one
+// lock acquisition and resets it.
+func (a *XRPAggregator) MergeShard(s *XRPShard) {
+	a.mu.Lock()
+	a.XRPShard.Merge(s)
+	a.mu.Unlock()
+}
+
+// Merge folds src (covering disjoint ledgers) into s and resets src.
+func (s *XRPShard) Merge(src *XRPShard) {
+	s.Ledgers += src.Ledgers
+	s.Transactions += src.Transactions
+	s.Failed += src.Failed
+	mergeCounts(s.TxByType, src.TxByType)
+	mergeCounts(s.TxByResult, src.TxByResult)
+	s.Series.Merge(src.Series)
+	for addr, agg := range src.byAccount {
+		d := s.byAccount[addr]
+		if d == nil {
+			s.byAccount[addr] = agg
+			continue
+		}
+		d.Total += agg.Total
+		mergeCounts(d.ByType, agg.ByType)
+		mergeCounts(d.DestTags, agg.DestTags)
 	}
+	s.payments = append(s.payments, src.payments...)
+	s.offersCreated += src.offersCreated
+	for ref := range src.offersExecuted {
+		s.offersExecuted[ref] = true
+	}
+	for ref := range src.restingOffers {
+		s.restingOffers[ref] = true
+	}
+	s.exchanges = append(s.exchanges, src.exchanges...)
+	mergeWindow(&s.FirstLedgerTime, &s.LastLedgerTime, src.FirstLedgerTime, src.LastLedgerTime)
+	origin, width := src.Series.Origin(), src.Series.Width()
+	*src = XRPShard{}
+	src.init(origin, width)
 }
 
 // IngestLedger folds one crawled ledger into the aggregate. Safe for
@@ -105,13 +168,30 @@ func (a *XRPAggregator) IngestLedgers(ls []*rpcserve.XRPLedgerJSON) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for i, l := range ls {
-		a.ingestLocked(l, times[i])
+		a.XRPShard.ingest(l, times[i])
 	}
 	return nil
 }
 
-// ingestLocked folds one ledger; callers hold a.mu.
-func (a *XRPAggregator) ingestLocked(l *rpcserve.XRPLedgerJSON, ts time.Time) {
+// IngestLedgers folds a batch into a privately-owned shard — no locking. A
+// malformed ledger fails the whole batch without ingesting any of it.
+func (s *XRPShard) IngestLedgers(ls []*rpcserve.XRPLedgerJSON) error {
+	times := make([]time.Time, len(ls))
+	for i, l := range ls {
+		ts, err := time.Parse(time.RFC3339, l.CloseTime)
+		if err != nil {
+			return err
+		}
+		times[i] = ts
+	}
+	for i, l := range ls {
+		s.ingest(l, times[i])
+	}
+	return nil
+}
+
+// ingest folds one ledger into the shard; the caller owns the shard.
+func (a *XRPShard) ingest(l *rpcserve.XRPLedgerJSON, ts time.Time) {
 	a.Ledgers++
 	if a.FirstLedgerTime.IsZero() || ts.Before(a.FirstLedgerTime) {
 		a.FirstLedgerTime = ts

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
@@ -100,8 +101,16 @@ type Options struct {
 	ExtraStages []Stage
 }
 
-// DefaultOptions returns bench-friendly scales.
+// DefaultOptions returns bench-friendly scales. The decode/ingest pool
+// scales with the CPU count (floor 2): since the aggregators went
+// mergeable-sharded the decode workers never contend on a lock, so on
+// multicore the stages get real CPU parallelism out of the box while the
+// single-CPU reference container keeps its old sizing.
 func DefaultOptions() Options {
+	ingest := runtime.GOMAXPROCS(0)
+	if ingest < 2 {
+		ingest = 2
+	}
 	return Options{
 		EOS:           StageOptions{Scale: 50_000, Seed: 1},
 		Tezos:         StageOptions{Scale: 800, Seed: 1},
@@ -109,7 +118,7 @@ func DefaultOptions() Options {
 		Gov:           StageOptions{Scale: 400, Seed: 1},
 		Workers:       4,
 		Buffer:        64,
-		IngestWorkers: 2,
+		IngestWorkers: ingest,
 		Batch:         16,
 		Bucket:        6 * time.Hour,
 		EOSEndpoints:  8,

@@ -264,3 +264,57 @@ func TestSeriesValueExtraction(t *testing.T) {
 		t.Fatalf("total values: %v", got)
 	}
 }
+
+func TestTimeSeriesMerge(t *testing.T) {
+	a := NewTimeSeries(origin, time.Hour)
+	a.Add(origin, "tx", 3)
+	a.Add(origin.Add(2*time.Hour), "tx", 1)
+	b := NewTimeSeries(origin, time.Hour)
+	b.Add(origin, "tx", 2)
+	b.Add(origin.Add(time.Hour), "other", 5)
+
+	a.Merge(b)
+	if got := a.Value(0, "tx"); got != 5 {
+		t.Fatalf("bucket 0 tx = %d, want 5", got)
+	}
+	if got := a.Value(1, "other"); got != 5 {
+		t.Fatalf("bucket 1 other = %d, want 5", got)
+	}
+	if got := a.Value(2, "tx"); got != 1 {
+		t.Fatalf("bucket 2 tx = %d, want 1", got)
+	}
+	if labels := a.Labels(); len(labels) != 2 || labels[0] != "other" || labels[1] != "tx" {
+		t.Fatalf("merged labels: %v", labels)
+	}
+	// Merge must be commutative: the reverse order gives the same totals.
+	c := NewTimeSeries(origin, time.Hour)
+	c.Add(origin, "tx", 2)
+	c.Add(origin.Add(time.Hour), "other", 5)
+	d := NewTimeSeries(origin, time.Hour)
+	d.Add(origin, "tx", 3)
+	d.Add(origin.Add(2*time.Hour), "tx", 1)
+	c.Merge(d)
+	if c.TotalAll() != a.TotalAll() || c.Total("tx") != a.Total("tx") {
+		t.Fatalf("merge order changed totals: %d/%d vs %d/%d",
+			c.TotalAll(), c.Total("tx"), a.TotalAll(), a.Total("tx"))
+	}
+}
+
+func TestTimeSeriesMergeMisalignedPanics(t *testing.T) {
+	a := NewTimeSeries(origin, time.Hour)
+	for _, other := range []*TimeSeries{
+		NewTimeSeries(origin, 2*time.Hour),
+		NewTimeSeries(origin.Add(time.Minute), time.Hour),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("misaligned merge did not panic")
+				}
+			}()
+			a.Merge(other)
+		}()
+	}
+	// A nil other is a harmless no-op, not a panic.
+	a.Merge(nil)
+}

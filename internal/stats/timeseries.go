@@ -48,6 +48,41 @@ func (s *TimeSeries) Add(ts time.Time, label string, n int64) {
 	s.labels[label] = struct{}{}
 }
 
+// Origin returns the series anchor time.
+func (s *TimeSeries) Origin() time.Time { return s.origin }
+
+// Width returns the bucket width.
+func (s *TimeSeries) Width() time.Duration { return s.width }
+
+// Merge folds other's buckets into s. Both series must share the same
+// origin and bucket width — bucket indexes are only comparable relative to
+// a common anchor — and Merge panics otherwise, like NewTimeSeries panics
+// on a non-positive width: a mismatch is a programming error, not a data
+// condition. Addition is commutative, so merging shards in any order
+// yields the same counts (the property the sharded aggregators rely on).
+func (s *TimeSeries) Merge(other *TimeSeries) {
+	if other == nil {
+		return
+	}
+	if !s.origin.Equal(other.origin) || s.width != other.width {
+		panic(fmt.Sprintf("stats: merging misaligned series (origin %v/%v, width %v/%v)",
+			s.origin, other.origin, s.width, other.width))
+	}
+	for i, ob := range other.buckets {
+		b := s.buckets[i]
+		if b == nil {
+			b = make(map[string]int64, len(ob))
+			s.buckets[i] = b
+		}
+		for label, n := range ob {
+			b[label] += n
+		}
+	}
+	for l := range other.labels {
+		s.labels[l] = struct{}{}
+	}
+}
+
 // BucketIndex returns the bucket index for ts (clamped at zero).
 func (s *TimeSeries) BucketIndex(ts time.Time) int {
 	d := ts.Sub(s.origin)
