@@ -47,6 +47,78 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// TestParseSkippedAndMalformed feeds the parser the noise a real -bench run
+// emits around skipped benchmarks: --- SKIP lines, b.Skip reasons, and rows
+// with no timing at all. None of it may produce a Result — a benchmark that
+// skipped must read as missing so the gate flags the lost coverage instead
+// of comparing against garbage.
+func TestParseSkippedAndMalformed(t *testing.T) {
+	in := `
+BenchmarkServeQuery-4     	   12345	     98765 ns/op	     512 B/op	       9 allocs/op
+BenchmarkArchiveWrite-4   	--- SKIP: BenchmarkArchiveWrite-4
+    bench_test.go:42: archive dir not writable
+--- SKIP: BenchmarkReplay
+BenchmarkNoTiming-4
+BenchmarkBadNumber-4      	     100	     abc ns/op
+PASS
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d results, want only the completed bench: %#v", len(got), got)
+	}
+	if _, ok := got["BenchmarkServeQuery"]; !ok {
+		t.Fatalf("completed bench missing: %#v", got)
+	}
+}
+
+// TestParseSubBenchmarkSuffixes pins the GOMAXPROCS-suffix stripping on
+// names that themselves end in digits: only the final -N comes off, so
+// sub-benchmarks parameterized by a number keep their identity.
+func TestParseSubBenchmarkSuffixes(t *testing.T) {
+	in := `
+BenchmarkSweep/parallel-2-4   	100	2000 ns/op
+BenchmarkSweep/parallel-8-4   	100	4000 ns/op
+BenchmarkSweep/parallel-8-2   	100	3000 ns/op
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one trailing -N comes off: parallel-2-4 → parallel-2, and the
+	// two parallel-8 rows from different -cpu counts collapse to the same
+	// name with the fastest run winning. The surviving "-2"/"-8" is the
+	// sweep parameter, not a CPU count.
+	if len(got) != 2 {
+		t.Fatalf("parsed %d names, want 2: %#v", len(got), got)
+	}
+	if r := got["BenchmarkSweep/parallel-2"]; r.NsPerOp != 2000 {
+		t.Fatalf("parallel-2 = %+v, want 2000 ns/op", r)
+	}
+	if r := got["BenchmarkSweep/parallel-8"]; r.NsPerOp != 3000 {
+		t.Fatalf("parallel-8 = %+v, want fastest of the collapsed rows (3000)", r)
+	}
+}
+
+// TestCompareMixedMemColumns: the alloc gate needs -benchmem numbers on
+// BOTH sides; a run without them (or a baseline without them) gates on time
+// only instead of comparing real allocs against a default zero.
+func TestCompareMixedMemColumns(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 5, HasMem: true},
+		"BenchmarkB": {NsPerOp: 1000},
+	}
+	cur := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000}, // this run lacked -benchmem
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 999, HasMem: true},
+	}
+	if regs := compare(old, cur, 15, 200, nil); len(regs) != 0 {
+		t.Fatalf("alloc gate ran without -benchmem on both sides: %+v", regs)
+	}
+}
+
 func TestParseKeepsFastestRun(t *testing.T) {
 	in := `
 BenchmarkX-4   10   2000 ns/op   10 B/op   3 allocs/op

@@ -40,9 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -97,11 +95,14 @@ func main() {
 			os.Exit(code)
 		}
 	}
-	if *parallel < 0 {
-		finish(2, "-parallel must be non-negative")
-	}
-	if *parallel > 0 && *replay == "" {
-		finish(2, "-parallel needs -replay: the sweep replays one archived crawl, it does not refetch")
+	parallelSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			parallelSet = true
+		}
+	})
+	if err := validateParallel(*parallel, parallelSet, *replay != ""); err != nil {
+		finish(2, err)
 	}
 	if *replay != "" {
 		if err := replayArchives(context.Background(), *replay, opts.Workers, *parallel, os.Stdout); err != nil {
@@ -163,6 +164,21 @@ func main() {
 	finish(0, nil)
 }
 
+// validateParallel rejects -parallel values that would silently degenerate:
+// an explicit N ≤ 0 used to be accepted and quietly collapse the sweep to a
+// single run, which reads as "my sweep converged" when no sweep ran at all.
+// A sweep also only makes sense over -replay — it replays one archived
+// crawl, it does not refetch.
+func validateParallel(n int, set, replaying bool) error {
+	if set && n <= 0 {
+		return fmt.Errorf("-parallel %d is not a sweep: pass N >= 1 concurrent replay runs (or omit the flag for a plain replay)", n)
+	}
+	if n > 0 && !replaying {
+		return fmt.Errorf("-parallel needs -replay: the sweep replays one archived crawl, it does not refetch")
+	}
+	return nil
+}
+
 // replayArchives regenerates figures offline from archived raw blocks. dir
 // is either one chain's archive (it holds manifest.json directly) or a
 // parent whose immediate subdirectories are archives, the layout cmd/crawl
@@ -178,7 +194,7 @@ func main() {
 // must collapse every band to a point: the sweep is the self-test that no
 // figure depends on scheduling, sharding or worker count.
 func replayArchives(ctx context.Context, dir string, workers, sweeps int, out io.Writer) error {
-	dirs, err := discoverArchives(dir)
+	dirs, err := archive.Discover(dir)
 	if err != nil {
 		return err
 	}
@@ -270,31 +286,4 @@ func sweepArchive(ctx context.Context, rd *archive.Reader, adir string, runs, wo
 		}
 	}
 	return summaries, nil
-}
-
-// discoverArchives resolves dir to the archive directories under it, in
-// sorted order for deterministic output.
-func discoverArchives(dir string) ([]string, error) {
-	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
-		return []string{dir}, nil
-	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var dirs []string
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		sub := filepath.Join(dir, e.Name())
-		if _, err := os.Stat(filepath.Join(sub, "manifest.json")); err == nil {
-			dirs = append(dirs, sub)
-		}
-	}
-	if len(dirs) == 0 {
-		return nil, fmt.Errorf("no archives under %s (no manifest.json in it or its subdirectories)", dir)
-	}
-	sort.Strings(dirs)
-	return dirs, nil
 }

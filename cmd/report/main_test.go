@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateParallel(t *testing.T) {
+	cases := []struct {
+		name      string
+		n         int
+		set       bool
+		replaying bool
+		wantErr   string
+	}{
+		{name: "default no replay", n: 0, set: false, replaying: false},
+		{name: "default with replay", n: 0, set: false, replaying: true},
+		{name: "sweep with replay", n: 3, set: true, replaying: true},
+		// The regression: an explicit -parallel 0 or negative used to be
+		// accepted and silently degenerate to a single run.
+		{name: "explicit zero", n: 0, set: true, replaying: true, wantErr: "not a sweep"},
+		{name: "explicit negative", n: -2, set: true, replaying: true, wantErr: "not a sweep"},
+		{name: "explicit zero without replay", n: 0, set: true, replaying: false, wantErr: "not a sweep"},
+		{name: "sweep without replay", n: 3, set: true, replaying: false, wantErr: "needs -replay"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateParallel(tc.n, tc.set, tc.replaying)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

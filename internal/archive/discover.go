@@ -1,0 +1,39 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Discover resolves dir to the archive directories it holds: dir itself
+// when it is an archive (manifest.json directly inside), otherwise every
+// immediate subdirectory that is one — the layout cmd/crawl -archive and
+// the pipeline's ArchiveDir produce. The result is sorted so consumers
+// (cmd/report -replay, cmd/serve -replay) emit chains in a deterministic
+// order. It is an error for dir to contain no archive at all.
+func Discover(dir string) ([]string, error) {
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+		return []string{dir}, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(sub, "manifest.json")); err == nil {
+			dirs = append(dirs, sub)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no archives under %s (no manifest.json in it or its subdirectories)", dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,60 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiscoverSingleArchive(t *testing.T) {
+	dir := t.TempDir()
+	writeArchive(t, dir, "eos", 10, 4)
+	dirs, err := Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != dir {
+		t.Fatalf("dirs = %v, want [%s]", dirs, dir)
+	}
+}
+
+func TestDiscoverParentDirectory(t *testing.T) {
+	parent := t.TempDir()
+	// Out-of-order creation; Discover must return sorted paths.
+	for _, chain := range []string{"xrp", "eos", "tezos"} {
+		writeArchive(t, filepath.Join(parent, chain), chain, 5, 4)
+	}
+	// Noise that must be ignored: a plain file and a dir with no manifest.
+	if err := os.WriteFile(filepath.Join(parent, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(parent, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := Discover(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(parent, "eos"),
+		filepath.Join(parent, "tezos"),
+		filepath.Join(parent, "xrp"),
+	}
+	if len(dirs) != len(want) {
+		t.Fatalf("dirs = %v, want %v", dirs, want)
+	}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Fatalf("dirs = %v, want %v", dirs, want)
+		}
+	}
+}
+
+func TestDiscoverNothing(t *testing.T) {
+	if _, err := Discover(t.TempDir()); err == nil {
+		t.Fatal("Discover of an empty dir succeeded")
+	}
+	if _, err := Discover(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("Discover of a missing dir succeeded")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -32,9 +33,14 @@ type BandMetric struct {
 	Integer bool
 }
 
-// BandOf folds N runs' summaries of the same chain into a band. Runs must
-// be non-empty; their order is irrelevant — min/median/max are order-free.
+// BandOf folds N runs' summaries of the same chain into a band. The runs'
+// order is irrelevant — min/median/max are order-free. An empty sweep
+// yields the zero band (0 runs, not converged) rather than panicking, so a
+// caller that filtered every run out still renders something diagnosable.
 func BandOf(runs []ChainSummary) SummaryBand {
+	if len(runs) == 0 {
+		return SummaryBand{}
+	}
 	b := SummaryBand{Chain: runs[0].Chain, Runs: len(runs)}
 
 	renders := make(map[string]bool, len(runs))
@@ -96,7 +102,14 @@ func (b SummaryBand) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "=== %s convergence band (%d runs) ===\n", b.Chain, b.Runs)
 	for _, m := range b.Metrics {
-		if m.Integer {
+		// A NaN/Inf landing in an "integer" metric must not hit the
+		// float→int conversion (implementation-defined for non-finite
+		// values); fall back to the float form, which prints NaN/±Inf
+		// deterministically.
+		finite := !math.IsNaN(m.Min) && !math.IsInf(m.Min, 0) &&
+			!math.IsNaN(m.Med) && !math.IsInf(m.Med, 0) &&
+			!math.IsNaN(m.Max) && !math.IsInf(m.Max, 0)
+		if m.Integer && finite {
 			fmt.Fprintf(&sb, "%-28s min %d / med %d / max %d\n",
 				m.Name+":", int64(m.Min), int64(m.Med), int64(m.Max))
 		} else {

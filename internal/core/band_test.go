@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func bandSummary(blocks, txs int64) ChainSummary {
+	return ChainSummary{
+		Chain:        "eos",
+		Blocks:       blocks,
+		Transactions: txs,
+		First:        time.Date(2019, 10, 1, 0, 0, 0, 0, time.UTC),
+		Last:         time.Date(2019, 10, 1, 0, 0, int(blocks-1), 0, time.UTC),
+		TypeCounts:   map[string]int64{"transfer": txs},
+	}
+}
+
+func TestBandOfEmptySweep(t *testing.T) {
+	b := BandOf(nil)
+	if b.Runs != 0 || b.Converged || b.Distinct != 0 || len(b.Metrics) != 0 {
+		t.Fatalf("empty sweep band = %+v, want zero band", b)
+	}
+	// The zero band must still render something diagnosable.
+	out := b.Render()
+	if !strings.Contains(out, "0 runs") {
+		t.Fatalf("zero band render not diagnosable:\n%s", out)
+	}
+}
+
+func TestBandOfSingleRun(t *testing.T) {
+	b := BandOf([]ChainSummary{bandSummary(10, 40)})
+	if b.Runs != 1 || !b.Converged || b.Distinct != 1 {
+		t.Fatalf("single-run band = %+v, want converged point", b)
+	}
+	for _, m := range b.Metrics {
+		if m.Min != m.Med || m.Med != m.Max {
+			t.Fatalf("single-run metric %s not a point: %+v", m.Name, m)
+		}
+	}
+	if out := b.Render(); !strings.Contains(out, "band: point (all 1 runs byte-identical)") {
+		t.Fatalf("single-run verdict wrong:\n%s", out)
+	}
+}
+
+func TestBandOfSpread(t *testing.T) {
+	b := BandOf([]ChainSummary{bandSummary(10, 40), bandSummary(12, 50), bandSummary(11, 45)})
+	if b.Converged || b.Distinct != 3 || b.Runs != 3 {
+		t.Fatalf("diverging sweep band = %+v, want 3-way spread", b)
+	}
+	blocks := b.Metrics[0]
+	if blocks.Name != "blocks" || blocks.Min != 10 || blocks.Med != 11 || blocks.Max != 12 {
+		t.Fatalf("blocks metric = %+v, want min 10 / med 11 / max 12", blocks)
+	}
+	if out := b.Render(); !strings.Contains(out, "band: spread (3 distinct renders across 3 runs)") {
+		t.Fatalf("spread verdict wrong:\n%s", out)
+	}
+}
+
+// TestBandRenderNonFinite pins the rendering of NaN/Inf landing in an
+// "integer" metric: the float→int conversion is implementation-defined for
+// non-finite values, so Render must fall back to the float form, which
+// prints NaN and ±Inf deterministically.
+func TestBandRenderNonFinite(t *testing.T) {
+	b := SummaryBand{
+		Chain: "eos",
+		Runs:  2,
+		Metrics: []BandMetric{
+			{Name: "blocks", Min: 1, Med: 2, Max: 3, Integer: true},
+			{Name: "poisoned count", Min: math.NaN(), Med: math.Inf(1), Max: math.Inf(-1), Integer: true},
+			{Name: "observed tps", Min: math.NaN(), Med: 1.5, Max: math.Inf(1)},
+		},
+	}
+	out := b.Render()
+	if !strings.Contains(out, "min 1 / med 2 / max 3") {
+		t.Fatalf("finite integer metric lost integer rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "min NaN / med +Inf / max -Inf") {
+		t.Fatalf("non-finite integer metric not rendered as floats:\n%s", out)
+	}
+	if !strings.Contains(out, "min NaN / med 1.500 / max +Inf") {
+		t.Fatalf("non-finite float metric rendered wrong:\n%s", out)
+	}
+	// Byte-stable: two renders of the same band must be identical even with
+	// non-finite values in play.
+	if out != b.Render() {
+		t.Fatal("non-finite band render not byte-stable")
+	}
+}

@@ -369,6 +369,66 @@ func IngestStream(ctx context.Context, blocks <-chan collect.Block, d Decoder, c
 	return atomic.LoadInt64(&ingested), nil
 }
 
+// PeriodicMerge wraps a sharded decoder so each ingest worker's private
+// shard folds into the parent aggregator every `batches` IngestBatch calls
+// instead of only at drain. MergeShard resets the source shard, so the
+// worker keeps reusing it; between merges the hot path stays lock-free.
+// This is the serving layer's ingest mode: the aggregator continuously
+// absorbs epoch-sized deltas that SummarizeEOS and friends can snapshot
+// mid-crawl, at a cost of one lock acquisition per worker per `batches`
+// batches rather than one per worker per stream. A non-sharded decoder is
+// returned unchanged (its locked batch path is already continuous).
+func PeriodicMerge(d Decoder, batches int) Decoder {
+	sharded, ok := d.(ShardedDecoder)
+	if !ok {
+		return d
+	}
+	if batches <= 0 {
+		batches = 4
+	}
+	return periodicDecoder{Decoder: d, sharded: sharded, every: batches}
+}
+
+type periodicDecoder struct {
+	Decoder
+	sharded ShardedDecoder
+	every   int
+}
+
+func (p periodicDecoder) NewShard() Shard {
+	return &periodicShard{inner: p.sharded.NewShard(), every: p.every}
+}
+
+// ReleaseBatch delegates to the wrapped decoder's arena recycling (if any);
+// the wrapper must keep satisfying BatchReleaser or the ingest pool would
+// silently stop recycling decoded structs.
+func (p periodicDecoder) ReleaseBatch(batch []any) {
+	if r, ok := p.Decoder.(BatchReleaser); ok {
+		r.ReleaseBatch(batch)
+	}
+}
+
+// periodicShard counts batches and merges the wrapped shard into its
+// aggregator every `every` batches. Merge resets the inner shard, so it
+// remains the worker's accumulator for the next epoch.
+type periodicShard struct {
+	inner    Shard
+	every, n int
+}
+
+func (s *periodicShard) IngestBatch(batch []any) error {
+	if err := s.inner.IngestBatch(batch); err != nil {
+		return err
+	}
+	if s.n++; s.n >= s.every {
+		s.inner.Merge()
+		s.n = 0
+	}
+	return nil
+}
+
+func (s *periodicShard) Merge() { s.inner.Merge() }
+
 // shardDecoder routes a worker's IngestBatch calls to its private shard
 // while delegating Decode to the shared decoder.
 type shardDecoder struct {

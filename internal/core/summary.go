@@ -75,57 +75,109 @@ func NewStatsKit(chain string, origin time.Time, bucket time.Duration) (StatsKit
 	return StatsKit{}, fmt.Errorf("core: unknown chain %q", chain)
 }
 
-// SummarizeEOS captures an EOS aggregator's deterministic footprint.
+// cloneCounts deep-copies a count map so a summary never aliases live
+// aggregator state.
+func cloneCounts(src map[string]int64) map[string]int64 {
+	dst := make(map[string]int64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// SummarizeEOS captures an EOS aggregator's deterministic footprint. It
+// holds the aggregator lock while it reads and deep-copies everything the
+// summary keeps, so it is safe to call while ingest batches keep landing,
+// and the returned summary is immutable afterwards — the copy-on-write
+// primitive behind the serving layer's snapshots (internal/serve).
 func SummarizeEOS(a *EOSAggregator) ChainSummary {
-	wash := AnalyzeWashTrades(a.Trades, 5)
-	s := ChainSummary{
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.EOSShard.Summary()
+}
+
+// Summary captures the shard's deterministic footprint. The caller must own
+// the shard exclusively (for an aggregator's embedded shard, that means
+// holding its mutex — use SummarizeEOS). Nothing in the returned summary
+// aliases shard state.
+func (s *EOSShard) Summary() ChainSummary {
+	wash := AnalyzeWashTrades(s.Trades, 5)
+	sum := ChainSummary{
 		Chain:        "eos",
-		Blocks:       a.Blocks,
-		Transactions: a.Transactions,
-		First:        a.FirstBlockTime,
-		Last:         a.LastBlockTime,
-		TypeCounts:   a.ActionsByName,
-		BucketTotals: stats.TotalValues(a.Series),
+		Blocks:       s.Blocks,
+		Transactions: s.Transactions,
+		First:        s.FirstBlockTime,
+		Last:         s.LastBlockTime,
+		TypeCounts:   cloneCounts(s.ActionsByName),
+		BucketTotals: stats.TotalValues(s.Series),
 		Wash:         &wash,
 	}
-	s.Notes = append(s.Notes,
-		fmt.Sprintf("boomerang txs:   %d", a.BoomerangTransactions()),
-		fmt.Sprintf("eidos share:     %.2f%% of actions", 100*a.EIDOSShare()))
-	return s
+	var eidosShare float64
+	if s.Actions > 0 {
+		eidosShare = float64(s.eidosActions) / float64(s.Actions)
+	}
+	sum.Notes = append(sum.Notes,
+		fmt.Sprintf("boomerang txs:   %d", s.boomerangs),
+		fmt.Sprintf("eidos share:     %.2f%% of actions", 100*eidosShare))
+	return sum
 }
 
 // SummarizeTezos captures a Tezos aggregator's deterministic footprint.
+// Like SummarizeEOS it locks and deep-copies, so it is safe under
+// concurrent ingestion and the result is immutable.
 func SummarizeTezos(a *TezosAggregator) ChainSummary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.TezosShard.Summary()
+}
+
+// Summary captures the shard's deterministic footprint; the caller must own
+// the shard exclusively (see EOSShard.Summary).
+func (s *TezosShard) Summary() ChainSummary {
+	var endorsementShare float64
+	if s.Operations > 0 {
+		endorsementShare = float64(s.OpsByKind["endorsement"]) / float64(s.Operations)
+	}
 	return ChainSummary{
 		Chain:        "tezos",
-		Blocks:       a.Blocks,
-		Transactions: a.Operations,
-		First:        a.FirstBlockTime,
-		Last:         a.LastBlockTime,
-		TypeCounts:   a.OpsByKind,
-		BucketTotals: stats.TotalValues(a.Series),
+		Blocks:       s.Blocks,
+		Transactions: s.Operations,
+		First:        s.FirstBlockTime,
+		Last:         s.LastBlockTime,
+		TypeCounts:   cloneCounts(s.OpsByKind),
+		BucketTotals: stats.TotalValues(s.Series),
 		Notes: []string{
-			fmt.Sprintf("endorsements:    %.2f%% of ops", 100*a.EndorsementShare()),
+			fmt.Sprintf("endorsements:    %.2f%% of ops", 100*endorsementShare),
 		},
 	}
 }
 
-// SummarizeXRP captures an XRP aggregator's deterministic footprint.
+// SummarizeXRP captures an XRP aggregator's deterministic footprint. Like
+// SummarizeEOS it locks and deep-copies, so it is safe under concurrent
+// ingestion and the result is immutable.
 func SummarizeXRP(a *XRPAggregator) ChainSummary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.XRPShard.Summary()
+}
+
+// Summary captures the shard's deterministic footprint; the caller must own
+// the shard exclusively (see EOSShard.Summary).
+func (s *XRPShard) Summary() ChainSummary {
 	var failedShare float64
-	if a.Transactions > 0 {
-		failedShare = float64(a.Failed) / float64(a.Transactions)
+	if s.Transactions > 0 {
+		failedShare = float64(s.Failed) / float64(s.Transactions)
 	}
 	return ChainSummary{
 		Chain:        "xrp",
-		Blocks:       a.Ledgers,
-		Transactions: a.Transactions,
-		First:        a.FirstLedgerTime,
-		Last:         a.LastLedgerTime,
-		TypeCounts:   a.TxByType,
-		BucketTotals: stats.TotalValues(a.Series),
+		Blocks:       s.Ledgers,
+		Transactions: s.Transactions,
+		First:        s.FirstLedgerTime,
+		Last:         s.LastLedgerTime,
+		TypeCounts:   cloneCounts(s.TxByType),
+		BucketTotals: stats.TotalValues(s.Series),
 		Notes: []string{
-			fmt.Sprintf("failed txs:      %d (%.2f%%)", a.Failed, 100*failedShare),
+			fmt.Sprintf("failed txs:      %d (%.2f%%)", s.Failed, 100*failedShare),
 		},
 	}
 }

@@ -99,6 +99,22 @@ type Options struct {
 	// the "governance" stage from the graph, so depending on it then is
 	// a graph-validation error.
 	ExtraStages []Stage
+
+	// Serve, when set, turns every measurement stage into a serving feed:
+	// the stage registers its aggregator's summarize hook before crawling
+	// and releases it (marking the chain drained) when the crawl returns,
+	// and its ingest path merges worker shards periodically instead of
+	// only at drain, so the sink can snapshot mid-crawl figures. The
+	// serving layer's Publisher (internal/serve) implements this.
+	Serve SummarySink
+}
+
+// SummarySink is the serving layer's registration surface, kept as a local
+// interface so the pipeline does not depend on internal/serve. Register
+// adds a named chain feed and returns an idempotent release function that
+// marks the feed drained (its figures final).
+type SummarySink interface {
+	Register(chain string, summarize func() core.ChainSummary) (release func(), err error)
 }
 
 // DefaultOptions returns bench-friendly scales. The decode/ingest pool
@@ -251,6 +267,22 @@ func (o Options) ingestConfig() core.IngestConfig {
 	return core.IngestConfig{Workers: o.IngestWorkers, Batch: o.Batch}
 }
 
+// serveFeed wires one stage into the serving sink (when configured):
+// registers the summarize hook under the stage's chain name and switches
+// the stage's decoder to periodic shard merges so the sink's snapshots see
+// the crawl in epoch-sized increments. Without a sink the decoder passes
+// through untouched and the release is a no-op.
+func (o Options) serveFeed(name string, summarize func() core.ChainSummary, dec core.Decoder) (core.Decoder, func(), error) {
+	if o.Serve == nil {
+		return dec, func() {}, nil
+	}
+	release, err := o.Serve.Register(name, summarize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.PeriodicMerge(dec, 0), release, nil
+}
+
 // serve starts an HTTP server on a loopback port and returns its base URL
 // and a shutdown function.
 func serve(h http.Handler) (string, func(), error) {
@@ -330,7 +362,13 @@ func (r *Result) runEOS(ctx context.Context, opts Options, pool *collect.Pool) (
 	}
 
 	agg := core.NewEOSAggregator(chain.ObservationStart, opts.Bucket)
-	crawl, err := crawlInto(ctx, fetcher, ccfg, core.EOSDecoder{Agg: agg}, opts.ingestConfig())
+	dec, releaseFeed, err := opts.serveFeed("eos",
+		func() core.ChainSummary { return core.SummarizeEOS(agg) }, core.EOSDecoder{Agg: agg})
+	if err != nil {
+		return StageStats{}, err
+	}
+	defer releaseFeed()
+	crawl, err := crawlInto(ctx, fetcher, ccfg, dec, opts.ingestConfig())
 	if err = finishArchive(sink, err); err != nil {
 		return StageStats{}, err
 	}
@@ -366,7 +404,13 @@ func (r *Result) runTezos(ctx context.Context, opts Options, pool *collect.Pool)
 	}
 
 	agg := core.NewTezosAggregator(chain.ObservationStart, opts.Bucket)
-	crawl, err := crawlInto(ctx, fetcher, ccfg, core.TezosDecoder{Agg: agg}, opts.ingestConfig())
+	dec, releaseFeed, err := opts.serveFeed("tezos",
+		func() core.ChainSummary { return core.SummarizeTezos(agg) }, core.TezosDecoder{Agg: agg})
+	if err != nil {
+		return StageStats{}, err
+	}
+	defer releaseFeed()
+	crawl, err := crawlInto(ctx, fetcher, ccfg, dec, opts.ingestConfig())
 	if err = finishArchive(sink, err); err != nil {
 		return StageStats{}, err
 	}
@@ -403,7 +447,13 @@ func (r *Result) runGovernance(ctx context.Context, opts Options, pool *collect.
 
 	// The governance replay starts in July; anchor its series there.
 	agg := core.NewTezosAggregator(time.Date(2019, time.July, 17, 0, 0, 0, 0, time.UTC), 24*time.Hour)
-	crawl, err := crawlInto(ctx, fetcher, ccfg, core.TezosDecoder{Agg: agg}, opts.ingestConfig())
+	dec, releaseFeed, err := opts.serveFeed("governance",
+		func() core.ChainSummary { return core.SummarizeTezos(agg) }, core.TezosDecoder{Agg: agg})
+	if err != nil {
+		return StageStats{}, err
+	}
+	defer releaseFeed()
+	crawl, err := crawlInto(ctx, fetcher, ccfg, dec, opts.ingestConfig())
 	if err = finishArchive(sink, err); err != nil {
 		return StageStats{}, err
 	}
@@ -461,7 +511,13 @@ func (r *Result) runXRP(ctx context.Context, opts Options, pool *collect.Pool) (
 	}
 
 	agg := core.NewXRPAggregator(chain.ObservationStart, opts.Bucket)
-	crawl, err := crawlInto(ctx, fetcher, ccfg, core.XRPDecoder{Agg: agg}, opts.ingestConfig())
+	dec, releaseFeed, err := opts.serveFeed("xrp",
+		func() core.ChainSummary { return core.SummarizeXRP(agg) }, core.XRPDecoder{Agg: agg})
+	if err != nil {
+		return StageStats{}, err
+	}
+	defer releaseFeed()
+	crawl, err := crawlInto(ctx, fetcher, ccfg, dec, opts.ingestConfig())
 	if err = finishArchive(sink, err); err != nil {
 		return StageStats{}, err
 	}
