@@ -12,17 +12,20 @@
 // delivered.
 //
 // With -archive the crawl is durable as well: every raw block is teed
-// into a segmented on-disk archive (see internal/archive) while it is
-// ingested, and cmd/report -replay can later regenerate the figures from
-// that directory with zero network calls. A completed crawl prints a
+// into a segmented archive (see internal/archive) while it is ingested,
+// and cmd/report -replay can later regenerate the figures from that
+// location with zero network calls. The location is a blob store: a plain
+// directory path, file://PATH, mem://NAME, s3://BUCKET/PREFIX?endpoint=URL,
+// or null:// (see internal/blobstore). A completed crawl prints a
 // deterministic "figures" section that a replay over the same archive
-// reproduces byte-for-byte — the CI archive job diffs the two.
+// reproduces byte-for-byte — on any backend — which the CI archive job
+// diffs.
 //
 // Usage:
 //
-//	crawl -chain eos   -endpoint http://127.0.0.1:PORT [-checkpoint FILE] [-archive DIR]
-//	crawl -chain tezos -endpoint http://127.0.0.1:PORT [-checkpoint FILE] [-archive DIR]
-//	crawl -chain xrp   -endpoint ws://127.0.0.1:PORT   [-checkpoint FILE] [-archive DIR]
+//	crawl -chain eos   -endpoint http://127.0.0.1:PORT [-checkpoint FILE] [-archive STORE]
+//	crawl -chain tezos -endpoint http://127.0.0.1:PORT [-checkpoint FILE] [-archive STORE]
+//	crawl -chain xrp   -endpoint ws://127.0.0.1:PORT   [-checkpoint FILE] [-archive STORE]
 package main
 
 import (
@@ -60,7 +63,7 @@ func main() {
 	flag.StringVar(&o.chain, "chain", "", "eos, tezos or xrp")
 	flag.StringVar(&o.endpoint, "endpoint", "", "endpoint URL")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: resume from it if present, write it on exit")
-	flag.StringVar(&o.archive, "archive", "", "archive directory: tee every raw block into it for offline replay (cmd/report -replay)")
+	flag.StringVar(&o.archive, "archive", "", "archive location (path or blob-store URL: file://, mem://, s3://, null://): tee every raw block into it for offline replay (cmd/report -replay)")
 	flag.IntVar(&o.workers, "workers", 4, "concurrent fetchers (xrp uses 1)")
 	flag.IntVar(&o.ingest, "ingest", 2, "decode/ingest workers")
 	flag.IntVar(&o.batch, "batch", 16, "blocks per aggregator lock acquisition")

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/blobstore/s3stub"
 	"repro/internal/chain"
 	"repro/internal/collect"
 	"repro/internal/core"
@@ -264,6 +265,72 @@ func TestCrawlArchiveReplayDeterminism(t *testing.T) {
 	}
 	if replayFigures := kit.Summarize().Render(); replayFigures != liveFigures {
 		t.Fatalf("replayed figures differ from live crawl:\n--- live ---\n%s\n--- replay ---\n%s", liveFigures, replayFigures)
+	}
+	if nums := s.fetchedNums(); len(nums) != 0 {
+		t.Fatalf("replay hit the network for blocks %v", nums)
+	}
+}
+
+// TestCrawlArchiveCrossBackendDeterminism: the same crawl archived to a
+// bare directory path, a mem:// store and an S3-compatible stub produces
+// byte-identical live figures, and each archive replays to those same
+// bytes — the storage backend is invisible in every figure.
+func TestCrawlArchiveCrossBackendDeterminism(t *testing.T) {
+	const total = 30
+	s := newCountingEOSServer(t, total)
+	stub := s3stub.New()
+	defer stub.Close()
+	locations := map[string]string{
+		"file": filepath.Join(t.TempDir(), "eos"),
+		"mem":  "mem://crawl-xbackend/eos",
+		"s3":   stub.URL("crawls", "eos"),
+	}
+
+	figures := make(map[string]string, len(locations))
+	for backend, loc := range locations {
+		s.reset()
+		var out bytes.Buffer
+		err := run(context.Background(), crawlOpts{
+			chain: "eos", endpoint: s.srv.URL, archive: loc,
+			workers: 2, ingest: 2, batch: 4, buffer: 8, from: 1,
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: archived crawl failed: %v\n%s", backend, err, out.String())
+		}
+		idx := strings.Index(out.String(), "--- eos figures ---")
+		if idx < 0 {
+			t.Fatalf("%s: live crawl printed no figures section:\n%s", backend, out.String())
+		}
+		figures[backend] = out.String()[idx:]
+	}
+	if figures["mem"] != figures["file"] || figures["s3"] != figures["file"] {
+		t.Fatalf("live figures differ across backends:\n--- file ---\n%s\n--- mem ---\n%s\n--- s3 ---\n%s",
+			figures["file"], figures["mem"], figures["s3"])
+	}
+
+	// Every backend's archive replays to the same bytes the live crawls
+	// printed — and without touching the chain endpoint.
+	s.reset()
+	for backend, loc := range locations {
+		rd, err := archive.Open(loc)
+		if err != nil {
+			t.Fatalf("%s: opening archive: %v", backend, err)
+		}
+		if !rd.Covers(1, total) {
+			t.Fatalf("%s: archive covers [%d, %d] of %d blocks", backend, rd.From(), rd.To(), rd.Blocks())
+		}
+		kit, err := core.NewStatsKit("eos", chain.ObservationStart, 6*time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := core.IngestCrawl(context.Background(), rd, collect.CrawlConfig{
+			From: 1, To: total, Workers: 2,
+		}, kit.Decoder, core.IngestConfig{}); err != nil {
+			t.Fatalf("%s: replay: %v", backend, err)
+		}
+		if got := kit.Summarize().Render(); got != figures["file"] {
+			t.Fatalf("%s: replayed figures differ from live:\n--- live ---\n%s\n--- replay ---\n%s", backend, figures["file"], got)
+		}
 	}
 	if nums := s.fetchedNums(); len(nums) != 0 {
 		t.Fatalf("replay hit the network for blocks %v", nums)

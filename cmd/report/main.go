@@ -5,24 +5,30 @@
 // Usage:
 //
 //	report [-eos-scale N] [-tezos-scale N] [-xrp-scale N] [-gov-scale N]
-//	       [-seed N] [-workers N] [-figure name] [-archive DIR]
-//	report -replay DIR [-parallel N]
+//	       [-seed N] [-workers N] [-figure name] [-archive STORE]
+//	report -replay STORE [-parallel N] [-from N -to N]
 //
 // Smaller scales simulate more traffic and converge closer to the paper's
 // percentages; the defaults finish in a few seconds.
 //
-// With -archive DIR every stage tees its raw block stream into per-stage
-// archives under DIR, and a rerun with the same flag replays from them
-// instead of crawling (see pipeline.Options.ArchiveDir).
+// STORE is a blob-store location: a plain directory path, file://PATH,
+// mem://NAME, s3://BUCKET/PREFIX?endpoint=URL, or null:// (write-only).
 //
-// With -replay DIR the pipeline does not run at all: the command opens the
-// archive (or each per-chain archive directly under DIR, as cmd/crawl
-// -archive and pipeline ArchiveDir write them), walks the raw blocks
-// segment-parallel through core.IngestArchive — the same decoders and
-// mergeable shards a live crawl ingests through, minus the network — and
-// prints each chain's deterministic figures section. The sections are
+// With -archive STORE every stage tees its raw block stream into
+// per-stage archives under STORE, and a rerun with the same flag replays
+// from them instead of crawling (see pipeline.Options.ArchiveDir).
+//
+// With -replay STORE the pipeline does not run at all: the command opens
+// the archive (or each per-chain archive directly under STORE, as
+// cmd/crawl -archive and pipeline ArchiveDir write them), walks the raw
+// blocks segment-parallel through core.IngestArchive — the same decoders
+// and mergeable shards a live crawl ingests through, minus the network —
+// and prints each chain's deterministic figures section. The sections are
 // byte-identical to what the live crawl printed, which the CI archive job
-// verifies by diffing the two.
+// verifies by diffing the two. With -from/-to only blocks in that range
+// replay, and only the segments covering it are fetched and verified —
+// the manifest's per-segment block-range index prunes the rest, which is
+// what makes slicing a huge remote archive cheap.
 //
 // With -replay -parallel N the same archives replay N times concurrently —
 // a sweep with zero refetching, each run using a different ingest worker
@@ -65,9 +71,11 @@ func main() {
 	figure := flag.String("figure", "all", "figure to print: all, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, tps, cases, endpoints, stages")
 	stress := flag.Bool("stress", false, "add the eidos-stress stage: the EOS workload at a hotter arrival rate, reported in the stage timings")
 	stressScale := flag.Int64("stress-scale", 0, "eidos-stress scale divisor (0 = quarter of the EOS default)")
-	flag.StringVar(&opts.ArchiveDir, "archive", "", "archive directory: stages tee raw blocks into it, and replay from it when it already covers their ranges")
-	replay := flag.String("replay", "", "replay archives under this directory offline (no pipeline, no network) and print their figures")
+	flag.StringVar(&opts.ArchiveDir, "archive", "", "archive location (path or blob-store URL: file://, mem://, s3://, null://): stages tee raw blocks into it, and replay from it when it already covers their ranges")
+	replay := flag.String("replay", "", "replay archives at this location (path or blob-store URL) offline (no pipeline, no network) and print their figures")
 	parallel := flag.Int("parallel", 0, "with -replay: N concurrent sweep runs over the same archives (zero refetch, varying worker counts) with per-chain convergence bands appended")
+	replayFrom := flag.Int64("from", 0, "with -replay: lowest block to replay; with -to, only segments covering [from, to] are fetched")
+	replayTo := flag.Int64("to", 0, "with -replay: highest block to replay")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -104,8 +112,11 @@ func main() {
 	if err := validateParallel(*parallel, parallelSet, *replay != ""); err != nil {
 		finish(2, err)
 	}
+	if err := validateRange(*replayFrom, *replayTo, *replay != ""); err != nil {
+		finish(2, err)
+	}
 	if *replay != "" {
-		if err := replayArchives(context.Background(), *replay, opts.Workers, *parallel, os.Stdout); err != nil {
+		if err := replayArchives(context.Background(), *replay, opts.Workers, *parallel, *replayFrom, *replayTo, os.Stdout); err != nil {
 			finish(1, err)
 		}
 		finish(0, nil)
@@ -179,6 +190,22 @@ func validateParallel(n int, set, replaying bool) error {
 	return nil
 }
 
+// validateRange rejects half-open or inverted -from/-to ranges before any
+// store round-trip: a silently ignored bound would replay the wrong slice
+// and read as "my range converged".
+func validateRange(from, to int64, replaying bool) error {
+	if from == 0 && to == 0 {
+		return nil
+	}
+	if !replaying {
+		return fmt.Errorf("-from/-to need -replay: they slice an archived crawl, not a live one")
+	}
+	if from <= 0 || to < from {
+		return fmt.Errorf("-from %d -to %d is not a block range: pass 1 <= from <= to (both flags together)", from, to)
+	}
+	return nil
+}
+
 // replayArchives regenerates figures offline from archived raw blocks. dir
 // is either one chain's archive (it holds manifest.json directly) or a
 // parent whose immediate subdirectories are archives, the layout cmd/crawl
@@ -187,20 +214,31 @@ func validateParallel(n int, set, replaying bool) error {
 // place and folded into per-worker shards — the figures are byte-identical
 // to the live crawl's because every aggregate is order-independent.
 //
+// With from > 0 only blocks in [from, to] replay: OpenRange consults the
+// manifest's per-segment block-range index, so segments outside the slice
+// are never fetched or verified. An archive whose blocks fall entirely
+// outside the range is skipped like an empty one.
+//
 // With sweeps > 0 each archive additionally replays `sweeps` times
 // concurrently, each run with a different ingest worker count, and a
 // per-chain convergence band (min/median/max of every figure across the
 // runs) is appended after all figure sections. A deterministic decoder
 // must collapse every band to a point: the sweep is the self-test that no
 // figure depends on scheduling, sharding or worker count.
-func replayArchives(ctx context.Context, dir string, workers, sweeps int, out io.Writer) error {
+func replayArchives(ctx context.Context, dir string, workers, sweeps int, from, to int64, out io.Writer) error {
 	dirs, err := archive.Discover(dir)
 	if err != nil {
 		return err
 	}
 	var bands []core.SummaryBand
 	for _, adir := range dirs {
-		rd, err := archive.Open(adir)
+		var rd *archive.Reader
+		var err error
+		if from > 0 {
+			rd, err = archive.OpenRange(adir, from, to)
+		} else {
+			rd, err = archive.Open(adir)
+		}
 		if err != nil {
 			return err
 		}
@@ -211,7 +249,11 @@ func replayArchives(ctx context.Context, dir string, workers, sweeps int, out io
 		// into bucket 0, so such an archive replays correctly but its
 		// bucket percentiles describe one big pre-window bucket.
 		if rd.Blocks() == 0 {
-			fmt.Fprintf(os.Stderr, "replay %s: archive %s is empty\n", rd.Chain(), adir)
+			if from > 0 {
+				fmt.Fprintf(os.Stderr, "replay %s: archive %s holds no blocks in [%d, %d]\n", rd.Chain(), adir, from, to)
+			} else {
+				fmt.Fprintf(os.Stderr, "replay %s: archive %s is empty\n", rd.Chain(), adir)
+			}
 			continue
 		}
 		// Fail fast on gaps: an interrupted crawl that was never resumed

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"strings"
 	"testing"
+
+	"repro/internal/archive"
 )
 
 func TestValidateParallel(t *testing.T) {
@@ -26,6 +30,69 @@ func TestValidateParallel(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			err := validateParallel(tc.n, tc.set, tc.replaying)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReplayArchivesRangeMiss: a -from/-to window beyond an archive's
+// blocks must skip it cleanly (no figures, no error) — the range open
+// indexes zero blocks instead of failing, so a fleet-wide ranged replay
+// tolerates archives that end before the window.
+func TestReplayArchivesRangeMiss(t *testing.T) {
+	loc := "mem://report-range-miss/eos"
+	w, err := archive.NewWriter(archive.WriterConfig{Dir: loc, Chain: "eos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for num := int64(1); num <= 8; num++ {
+		if err := w.Append(num, []byte(`{"opaque":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := replayArchives(context.Background(), loc, 1, 0, 100, 200, &out); err != nil {
+		t.Fatalf("ranged replay past the archive failed: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("ranged replay past the archive printed figures:\n%s", out.String())
+	}
+}
+
+func TestValidateRange(t *testing.T) {
+	cases := []struct {
+		name      string
+		from, to  int64
+		replaying bool
+		wantErr   string
+	}{
+		{name: "unset no replay", replaying: false},
+		{name: "unset with replay", replaying: true},
+		{name: "range with replay", from: 10, to: 20, replaying: true},
+		{name: "single block", from: 7, to: 7, replaying: true},
+		{name: "range without replay", from: 10, to: 20, replaying: false, wantErr: "need -replay"},
+		{name: "from only", from: 10, replaying: true, wantErr: "not a block range"},
+		{name: "to only", to: 20, replaying: true, wantErr: "not a block range"},
+		{name: "inverted", from: 20, to: 10, replaying: true, wantErr: "not a block range"},
+		{name: "negative from", from: -1, to: 10, replaying: true, wantErr: "not a block range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateRange(tc.from, tc.to, tc.replaying)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -14,9 +14,12 @@
 //
 // Usage:
 //
-//	serve -addr :8080 -replay DIR
-//	serve -addr :8080 -eos URL [-tezos URL] [-xrp URL] [-archive DIR]
+//	serve -addr :8080 -replay STORE
+//	serve -addr :8080 -eos URL [-tezos URL] [-xrp URL] [-archive STORE]
 //	serve -addr :8080 -pipeline
+//
+// STORE is a blob-store location: a plain directory path, file://PATH,
+// mem://NAME, or s3://BUCKET/PREFIX?endpoint=URL.
 //
 // Endpoints: /healthz, /v1/status, /v1/chains, /v1/summary/{chain},
 // /v1/figures[/{chain}], /v1/percentiles/{chain}?p=50,90,99.
@@ -32,12 +35,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/blobstore"
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/pipeline"
@@ -71,8 +74,8 @@ func main() {
 	flag.StringVar(&o.eos, "eos", "", "EOS endpoint URL to crawl live")
 	flag.StringVar(&o.tezos, "tezos", "", "Tezos endpoint URL to crawl live")
 	flag.StringVar(&o.xrp, "xrp", "", "XRP WebSocket endpoint URL to crawl live")
-	flag.StringVar(&o.replay, "replay", "", "serve from archives under this directory (offline, no network)")
-	flag.StringVar(&o.archiveDir, "archive", "", "with live endpoints: tee every raw block into per-chain archives under this directory")
+	flag.StringVar(&o.replay, "replay", "", "serve from archives at this location (path or blob-store URL: file://, mem://, s3://) offline, no network")
+	flag.StringVar(&o.archiveDir, "archive", "", "with live endpoints: tee every raw block into per-chain archives at this location (path or blob-store URL)")
 	flag.BoolVar(&o.runPipeline, "pipeline", false, "serve the full reproduction pipeline's stages as they crawl")
 	flag.DurationVar(&o.epoch, "epoch", 200*time.Millisecond, "snapshot publish interval")
 	flag.IntVar(&o.mergeEvery, "merge-every", 0, "ingest batches between shard merges (0 = default)")
@@ -275,7 +278,7 @@ func liveFeed(ctx context.Context, pub *serve.Publisher, o serveOpts, chainName,
 	if o.archiveDir != "" {
 		var err error
 		sink, err = archive.NewWriter(archive.WriterConfig{
-			Dir: filepath.Join(o.archiveDir, chainName), Chain: chainName,
+			Dir: blobstore.Join(o.archiveDir, chainName), Chain: chainName,
 		})
 		if err != nil {
 			return err

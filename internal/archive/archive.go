@@ -1,12 +1,17 @@
 // Package archive makes the producer side of the measurement pipeline
 // durable: a Writer tees the raw block stream a crawl delivers into
-// segmented, gzip-compressed, length-prefixed segment files on disk, and a
-// Reader replays an archived crawl through the exact collect.BlockFetcher
-// contract the live clients implement — so every re-analysis (different
-// throughput definitions, wash-trade filters, new aggregators) runs at
-// local I/O speed with zero network calls and no rate limits.
+// segmented, gzip-compressed, length-prefixed segment objects in a blob
+// store, and a Reader replays an archived crawl through the exact
+// collect.BlockFetcher contract the live clients implement — so every
+// re-analysis (different throughput definitions, wash-trade filters, new
+// aggregators) runs at storage speed with zero endpoint calls and no rate
+// limits.
 //
-// On-disk layout (one directory per archived chain):
+// Storage is a blobstore.Store resolved from a URL — file://PATH (or a
+// bare path), mem://NAME, s3://BUCKET/PREFIX, null:// — so the same
+// archive rides a local disk, an in-process test store, or an
+// S3-compatible service without the format knowing the difference.
+// Layout (one store root, or one key prefix, per archived chain):
 //
 //	manifest.json      index of finalized segments + integrity metadata
 //	segment-000001.gz  gzip stream: magic, then length-prefixed records
@@ -17,36 +22,47 @@
 //
 //	[8-byte big-endian block number][4-byte big-endian payload length][payload]
 //
-// The manifest records, per segment, the block count, the minimum and
-// maximum block number, the raw payload byte total and the SHA-256 of the
-// compressed file bytes. Open verifies all of it before replay begins:
-// a truncated file, a flipped bit or a manifest/segment mismatch fails the
-// whole replay with an error wrapping ErrCorrupt instead of silently
+// The manifest records, per segment, the block count, the [min, max]
+// block-number range, the raw payload byte total, the compressed object
+// size and the SHA-256 of the compressed bytes. The range doubles as the
+// archive's index: a ranged open (OpenRange) selects the covering
+// segments straight from the manifest and never fetches the rest. Open
+// verifies everything it will read before replay begins: a truncated
+// object, a flipped bit or a manifest/segment mismatch fails the whole
+// replay with an error wrapping ErrCorrupt instead of silently
 // short-counting blocks.
 //
-// Durability: segments are written to a .tmp path and fsync'd + renamed
-// into place only when complete, and the manifest is rewritten atomically
-// after every rotation. A crash (or SIGINT racing a rotation) therefore
-// loses at most the open segment; everything the manifest references is
-// intact, and stray .tmp files are ignored by Open and swept by the next
-// Writer.
+// Durability: a segment is buffered in memory until complete, published
+// with the store's atomic Put (tmp + fsync + rename on a filesystem), and
+// only then committed to the manifest, which itself rewrites atomically
+// after every rotation. A crash therefore loses at most the open segment;
+// everything the manifest references is intact.
+//
+// Manifest versions: v1 (written through PR 6) lacks per-segment
+// comp_bytes; v2 adds it. Readers accept both — a v1 archive opens,
+// range-opens and replays identically, it just skips the compressed-size
+// precheck.
 package archive
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+
+	"repro/internal/blobstore"
 )
 
 // segmentMagic opens every segment's uncompressed stream.
 const segmentMagic = "RBARCH1\n"
 
-// manifestName is the archive's index file.
+// manifestName is the archive's index object.
 const manifestName = "manifest.json"
+
+// manifestVersion is what new manifests are written as.
+const manifestVersion = 2
 
 // maxRecordBytes caps a single record's payload so a corrupted length
 // prefix fails immediately instead of attempting a multi-gigabyte read.
@@ -57,8 +73,8 @@ const maxRecordBytes = 1 << 30
 // errors.Is against it to distinguish corruption from absence.
 var ErrCorrupt = errors.New("archive: corrupt archive")
 
-// Manifest indexes an archive directory: which chain it holds and which
-// finalized segments make it up, in write order.
+// Manifest indexes an archive: which chain it holds and which finalized
+// segments make it up, in write order.
 type Manifest struct {
 	Version  int           `json:"version"`
 	Chain    string        `json:"chain"`
@@ -72,95 +88,79 @@ type SegmentInfo struct {
 	// between the tee and the stream delivery re-archives the block on
 	// resume).
 	Blocks int64 `json:"blocks"`
-	// Min and Max bound the block numbers inside the segment.
+	// Min and Max bound the block numbers inside the segment. Together
+	// they are the archive's block-range index: a ranged open fetches only
+	// segments whose [Min, Max] intersects the requested range.
 	Min int64 `json:"min"`
 	Max int64 `json:"max"`
 	// RawBytes totals the uncompressed payload bytes.
 	RawBytes int64 `json:"raw_bytes"`
-	// SHA256 is the hex digest of the compressed file bytes.
+	// CompBytes is the compressed object's size (v2 manifests; 0 in v1).
+	// Checked against the fetched length before hashing, so a truncated
+	// remote object fails fast with a size, not just a digest.
+	CompBytes int64 `json:"comp_bytes,omitempty"`
+	// SHA256 is the hex digest of the compressed object bytes.
 	SHA256 string `json:"sha256"`
 }
 
-// manifestPath returns dir's manifest location.
-func manifestPath(dir string) string { return filepath.Join(dir, manifestName) }
-
-// segmentName formats the n-th segment's file name.
+// segmentName formats the n-th segment's object key.
 func segmentName(n int) string { return fmt.Sprintf("segment-%06d.gz", n) }
 
-// loadManifest reads and validates dir's manifest. A missing manifest is
-// reported via fs.ErrNotExist so callers can treat the directory as a
-// fresh archive.
-func loadManifest(dir string) (Manifest, error) {
-	data, err := os.ReadFile(manifestPath(dir))
+// loadManifest reads and validates the store's manifest. A missing
+// manifest surfaces the store's fs.ErrNotExist so callers can treat the
+// location as a fresh archive.
+func loadManifest(ctx context.Context, st blobstore.Store) (Manifest, error) {
+	data, err := st.Get(ctx, manifestName)
 	if err != nil {
 		return Manifest{}, err
 	}
+	where := blobstore.Join(st.URL(), manifestName)
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return Manifest{}, fmt.Errorf("archive: decoding %s: %v: %w", manifestPath(dir), err, ErrCorrupt)
+		return Manifest{}, fmt.Errorf("archive: decoding %s: %v: %w", where, err, ErrCorrupt)
 	}
-	if m.Version != 1 {
-		return Manifest{}, fmt.Errorf("archive: %s has unsupported version %d: %w", manifestPath(dir), m.Version, ErrCorrupt)
+	if m.Version != 1 && m.Version != manifestVersion {
+		return Manifest{}, fmt.Errorf("archive: %s has unsupported version %d: %w", where, m.Version, ErrCorrupt)
 	}
 	if m.Chain == "" {
-		return Manifest{}, fmt.Errorf("archive: %s names no chain: %w", manifestPath(dir), ErrCorrupt)
+		return Manifest{}, fmt.Errorf("archive: %s names no chain: %w", where, ErrCorrupt)
 	}
 	for _, s := range m.Segments {
-		if s.File != filepath.Base(s.File) || s.File == "" {
-			return Manifest{}, fmt.Errorf("archive: %s references invalid segment name %q: %w", manifestPath(dir), s.File, ErrCorrupt)
+		if err := validSegmentName(s.File); err != nil {
+			return Manifest{}, fmt.Errorf("archive: %s references invalid segment name %q: %w", where, s.File, ErrCorrupt)
 		}
-		if s.Blocks <= 0 || s.Min <= 0 || s.Max < s.Min {
-			return Manifest{}, fmt.Errorf("archive: %s has inconsistent metadata for %s: %w", manifestPath(dir), s.File, ErrCorrupt)
+		if s.Blocks <= 0 || s.Min <= 0 || s.Max < s.Min || s.CompBytes < 0 {
+			return Manifest{}, fmt.Errorf("archive: %s has inconsistent metadata for %s: %w", where, s.File, ErrCorrupt)
 		}
 	}
 	return m, nil
 }
 
-// saveManifest writes the manifest atomically: temp file, fsync, rename,
-// directory fsync. A crash mid-save never corrupts an existing manifest.
-func saveManifest(dir string, m Manifest) error {
+// validSegmentName accepts only flat object keys — a manifest must not be
+// able to point reads outside its own archive.
+func validSegmentName(name string) error {
+	if name == "" {
+		return errors.New("empty")
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == '\\' {
+			return errors.New("not flat")
+		}
+	}
+	if name == "." || name == ".." {
+		return errors.New("relative")
+	}
+	return nil
+}
+
+// saveManifest publishes the manifest through the store's atomic Put; a
+// crash mid-save never corrupts an existing manifest.
+func saveManifest(ctx context.Context, st blobstore.Store, m Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("archive: encoding manifest: %w", err)
 	}
-	tmp := manifestPath(dir) + ".tmp"
-	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, manifestPath(dir)); err != nil {
-		return err
-	}
-	return syncDir(dir)
-}
-
-// writeFileSync writes data to path and fsyncs it before closing.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// syncDir fsyncs a directory so renames into it are durable. Directory
-// fsync support varies by platform and the rename is atomic regardless, so
-// a failed sync on an opened directory is not fatal.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	_ = d.Sync()
-	return nil
+	return st.Put(ctx, manifestName, append(data, '\n'))
 }
 
 // sha256Hex returns the hex digest of b.

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"repro/internal/blobstore"
 )
 
 // payload fabricates a deterministic raw block body.
@@ -223,27 +225,22 @@ func TestEmptyArchiveManifests(t *testing.T) {
 
 // TestCrashMidSegmentLeavesNoTorn: abandoning a writer without Close (a
 // crash, or SIGKILL racing a rotation) must leave the manifest pointing
-// only at fully finalized segments — the open segment's .tmp is ignored by
-// Open and swept by the next writer.
+// only at fully finalized segments — the open segment buffers in memory
+// and simply evaporates, publishing nothing partial.
 func TestCrashMidSegmentLeavesNoTorn(t *testing.T) {
 	dir := t.TempDir()
 	w, err := NewWriter(WriterConfig{Dir: dir, Chain: "eos", SegmentBlocks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 appends finalize segment 1 (rotation: fsync + rename + manifest);
-	// 2 more sit in the open segment when the "crash" lands.
+	// 4 appends finalize segment 1 (atomic publish + manifest commit);
+	// 2 more sit in the open segment's buffer when the "crash" lands.
 	for num := int64(6); num >= 1; num-- {
 		if err := w.Append(num, payload(num)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// No Close: the writer is simply abandoned.
-
-	strays, _ := filepath.Glob(filepath.Join(dir, "segment-*.gz.tmp"))
-	if len(strays) != 1 {
-		t.Fatalf("expected exactly one in-progress tmp segment, found %v", strays)
-	}
 
 	r, err := Open(dir)
 	if err != nil {
@@ -256,13 +253,10 @@ func TestCrashMidSegmentLeavesNoTorn(t *testing.T) {
 		t.Fatalf("crashed archive coverage wrong: [%d,%d]", r.From(), r.To())
 	}
 
-	// The next session sweeps the torn tmp and re-archives what was lost.
+	// The next session re-archives what was lost.
 	w2, err := NewWriter(WriterConfig{Dir: dir, Chain: "eos", SegmentBlocks: 4})
 	if err != nil {
 		t.Fatal(err)
-	}
-	if strays, _ := filepath.Glob(filepath.Join(dir, "segment-*.gz.tmp")); len(strays) != 0 {
-		t.Fatalf("reopened writer left stray tmp files: %v", strays)
 	}
 	for num := int64(2); num >= 1; num-- {
 		if err := w2.Append(num, payload(num)); err != nil {
@@ -281,56 +275,59 @@ func TestCrashMidSegmentLeavesNoTorn(t *testing.T) {
 	}
 }
 
-// TestPoisonedSegmentDiscardedOnClose: when a record write fails partway
-// (disk full, EIO), the open segment may hold a torn record. Close must
-// discard it — never checksum and finalize it into the manifest, which
-// would brick every later Open of the whole archive — while the segments
-// finalized before the failure stay replayable.
-func TestPoisonedSegmentDiscardedOnClose(t *testing.T) {
-	dir := t.TempDir()
-	w, err := NewWriter(WriterConfig{Dir: dir, Chain: "eos", SegmentBlocks: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Finalize one good segment ({6,5,4} at SegmentBlocks=3), then start
-	// the next with block 3 in it.
-	for num := int64(6); num >= 3; num-- {
-		if err := w.Append(num, payload(num)); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// Sabotage the open segment's file, then force enough data through the
-	// compressor that the write error surfaces inside Append.
-	w.mu.Lock()
-	w.cur.file.Close()
-	w.mu.Unlock()
-	big := make([]byte, 4<<20)
-	for i := range big {
-		big[i] = byte(i) // incompressible enough to flush
-	}
-	if err := w.Append(2, big); err == nil {
-		t.Skip("write error did not surface inside Append on this platform")
-	}
-	if err := w.Append(1, payload(1)); err == nil {
-		t.Fatal("append after a failed write succeeded on a poisoned segment")
-	}
-	if err := w.Close(); err != nil {
-		t.Fatalf("closing a writer with a poisoned segment: %v", err)
-	}
+// TestFailedPutPoisonsWriter: when publishing a segment fails (disk full,
+// endpoint outage), the writer must report the failure on that Append,
+// refuse everything after it, and never manifest the lost segment — while
+// the segments finalized before the failure stay replayable. (The lost
+// blocks' crawl-side fate is handled by collect.ErrTee — the checkpoint is
+// not saved, so a resume refetches them.)
+func TestFailedPutPoisonsWriter(t *testing.T) {
+	for _, backend := range []string{"file", "mem"} {
+		t.Run(backend, func(t *testing.T) {
+			var base blobstore.Store
+			if backend == "file" {
+				base = blobstore.NewFile(t.TempDir())
+			} else {
+				base = blobstore.NewMemory()
+			}
+			faulty := blobstore.NewFaulty(base)
+			w, err := NewWriter(WriterConfig{Store: faulty, Chain: "eos", SegmentBlocks: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Segment 1 ({6,5,4}) publishes cleanly: one segment put + one
+			// manifest put. The next segment's put fails.
+			boom := errors.New("endpoint on fire")
+			faulty.BreakAfter(blobstore.OpPut, 2, -1, boom)
+			for num := int64(6); num >= 2; num-- {
+				if err := w.Append(num, payload(num)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// This append completes segment 2 ({3,2,1}) and triggers the
+			// failing publish.
+			if err := w.Append(1, payload(1)); !errors.Is(err, boom) {
+				t.Fatalf("rotating append did not surface the put failure: %v", err)
+			}
+			if err := w.Append(7, payload(7)); err == nil {
+				t.Fatal("append after a failed publish succeeded on a poisoned writer")
+			}
+			if err := w.Close(); !errors.Is(err, boom) {
+				t.Fatalf("closing a poisoned writer: %v (want the original failure)", err)
+			}
 
-	r, err := Open(dir)
-	if err != nil {
-		t.Fatalf("archive with a discarded poisoned segment failed to open: %v", err)
-	}
-	if !r.Covers(4, 6) {
-		t.Fatalf("finalized pre-failure segment lost: covers [%d, %d]", r.From(), r.To())
-	}
-	// Block 3 was appended cleanly but shares the poisoned segment, and
-	// block 2's record is torn: both must be gone. (Their crawl-side fate
-	// is handled by collect.ErrTee — the checkpoint is not saved, so a
-	// resume refetches them.)
-	if r.Covers(3, 3) || r.Covers(2, 2) {
-		t.Fatal("poisoned segment's blocks leaked into the manifest")
+			faulty.Clear()
+			r, err := OpenWith("", OpenOptions{Store: base})
+			if err != nil {
+				t.Fatalf("archive after a discarded poisoned segment failed to open: %v", err)
+			}
+			if !r.Covers(4, 6) {
+				t.Fatalf("finalized pre-failure segment lost: covers [%d, %d]", r.From(), r.To())
+			}
+			if r.Covers(3, 3) || r.Covers(2, 2) || r.Covers(1, 1) {
+				t.Fatal("poisoned segment's blocks leaked into the manifest")
+			}
+		})
 	}
 }
 
@@ -386,7 +383,11 @@ func TestCorruptionFailsLoudly(t *testing.T) {
 			if err := os.WriteFile(seg, trunc, 0o644); err != nil {
 				t.Fatal(err)
 			}
-			editManifest(t, dir, func(m *Manifest) { m.Segments[0].SHA256 = sha256Hex(trunc) })
+			// Also fix up the size so the record walk itself is what trips.
+			editManifest(t, dir, func(m *Manifest) {
+				m.Segments[0].SHA256 = sha256Hex(trunc)
+				m.Segments[0].CompBytes = int64(len(trunc))
+			})
 		}},
 	}
 	for _, tc := range cases {
@@ -416,12 +417,14 @@ func firstSegment(t *testing.T, dir string) string {
 
 func editManifest(t *testing.T, dir string, edit func(*Manifest)) {
 	t.Helper()
-	m, err := loadManifest(dir)
+	ctx := context.Background()
+	st := blobstore.NewFile(dir)
+	m, err := loadManifest(ctx, st)
 	if err != nil {
 		t.Fatal(err)
 	}
 	edit(&m)
-	if err := saveManifest(dir, m); err != nil {
+	if err := saveManifest(ctx, st, m); err != nil {
 		t.Fatal(err)
 	}
 }

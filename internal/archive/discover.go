@@ -1,39 +1,60 @@
 package archive
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"io/fs"
 	"sort"
+	"strings"
+
+	"repro/internal/blobstore"
 )
 
-// Discover resolves dir to the archive directories it holds: dir itself
-// when it is an archive (manifest.json directly inside), otherwise every
-// immediate subdirectory that is one — the layout cmd/crawl -archive and
-// the pipeline's ArchiveDir produce. The result is sorted so consumers
-// (cmd/report -replay, cmd/serve -replay) emit chains in a deterministic
-// order. It is an error for dir to contain no archive at all.
-func Discover(dir string) ([]string, error) {
-	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
-		return []string{dir}, nil
-	}
-	entries, err := os.ReadDir(dir)
+// Discover resolves a store location to the archives it holds: the
+// location itself when it is an archive (manifest.json directly at its
+// root), otherwise every immediate sub-prefix that is one — the layout
+// cmd/crawl -archive and the pipeline's ArchiveDir produce. The result is
+// sorted so consumers (cmd/report -replay, cmd/serve -replay) emit chains
+// in a deterministic order. It is an error for the location to hold no
+// archive at all, and an unexpected store failure (anything beyond plain
+// absence) propagates instead of being mistaken for "not an archive".
+func Discover(location string) ([]string, error) {
+	st, err := blobstore.Resolve(location)
 	if err != nil {
 		return nil, err
 	}
-	var dirs []string
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
+	return discoverIn(st, location)
+}
+
+// discoverIn is Discover over an already-resolved store (tests inject
+// Faulty-wrapped stores to drive the failure paths).
+func discoverIn(st blobstore.Store, location string) ([]string, error) {
+	ctx := context.Background()
+	switch _, err := st.Stat(ctx, manifestName); {
+	case err == nil:
+		return []string{location}, nil
+	case !errors.Is(err, fs.ErrNotExist):
+		return nil, fmt.Errorf("archive: checking %s for a manifest: %w", location, err)
+	}
+	keys, err := st.List(ctx, "")
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("archive: %s does not exist (supported locations: %s): %w",
+				location, blobstore.Schemes, err)
 		}
-		sub := filepath.Join(dir, e.Name())
-		if _, err := os.Stat(filepath.Join(sub, "manifest.json")); err == nil {
-			dirs = append(dirs, sub)
+		return nil, fmt.Errorf("archive: listing %s: %w", location, err)
+	}
+	var subs []string
+	for _, k := range keys {
+		if sub, rest, ok := strings.Cut(k, "/"); ok && rest == manifestName {
+			subs = append(subs, blobstore.Join(location, sub))
 		}
 	}
-	if len(dirs) == 0 {
-		return nil, fmt.Errorf("no archives under %s (no manifest.json in it or its subdirectories)", dir)
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("no archives at %s (no %s at it or its immediate sub-prefixes; supported locations: %s)",
+			location, manifestName, blobstore.Schemes)
 	}
-	sort.Strings(dirs)
-	return dirs, nil
+	sort.Strings(subs)
+	return subs, nil
 }

@@ -5,14 +5,15 @@ import (
 	"compress/gzip"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
+	"io/fs"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/blobstore"
 	"repro/internal/wire"
 )
 
@@ -24,17 +25,36 @@ type recordRef struct {
 	n   int32
 }
 
+// OpenOptions parameterizes OpenWith.
+type OpenOptions struct {
+	// Workers bounds segment verification fan-out (0 or less = one per
+	// CPU).
+	Workers int
+	// From and To restrict the open to blocks in [From, To]. Both zero
+	// means the whole archive. A ranged open verifies, fetches and indexes
+	// only the covering segments — the ones whose manifest [min, max]
+	// intersects the range — which is the point of the per-segment range
+	// index: replaying a slice of a huge remote archive moves only the
+	// bytes that slice lives in.
+	From, To int64
+	// Store overrides URL resolution with an explicit backend (tests
+	// inject Faulty-wrapped or counted stores here).
+	Store blobstore.Store
+}
+
 // Reader replays an archived crawl. It implements the collect.BlockFetcher
 // contract (Head + FetchBlock), so collect.Stream and core.IngestCrawl
-// drive it exactly like a live endpoint — except every fetch is a local
-// read. Open verifies the whole archive up front; FetchBlock is safe for
-// concurrent use (stream workers fetch in parallel).
+// drive it exactly like a live endpoint — except every fetch is a blob
+// read. Open verifies everything it will read up front; FetchBlock is
+// safe for concurrent use (stream workers fetch in parallel).
 type Reader struct {
-	dir   string
-	man   Manifest
-	index map[int64]recordRef
-	min   int64
-	max   int64
+	url      string
+	store    blobstore.Store
+	man      Manifest
+	covering []int // manifest indices this open reads, in manifest order
+	index    map[int64]recordRef
+	min      int64
+	max      int64
 
 	// Segment payloads decompress lazily and stay cached; the crawl's
 	// stride-sharded reverse walk revisits each segment many times, so the
@@ -45,46 +65,82 @@ type Reader struct {
 	maxCache int
 }
 
-// Open loads dir's manifest and verifies every referenced segment:
-// checksum over the compressed bytes, magic, record walk, and agreement
-// with the manifest's block count, bounds and byte totals. Any mismatch
-// fails with an error wrapping ErrCorrupt. A directory without a manifest
-// fails with fs.ErrNotExist. Segments verify concurrently (one worker per
-// CPU); use OpenParallel to pick the worker count explicitly.
-func Open(dir string) (*Reader, error) { return OpenParallel(dir, 0) }
+// Open loads the manifest at location (a store URL or bare path) and
+// verifies every referenced segment: compressed size, checksum, magic,
+// record walk, and agreement with the manifest's block count, bounds and
+// byte totals. Any mismatch fails with an error wrapping ErrCorrupt. A
+// location without a manifest fails with fs.ErrNotExist. Segments verify
+// concurrently (one worker per CPU).
+func Open(location string) (*Reader, error) { return OpenWith(location, OpenOptions{}) }
 
-// OpenParallel is Open with an explicit verification fan-out: up to
-// `workers` segments decompress and walk concurrently (0 or less means one
-// per CPU). The result is identical to a serial open — per-segment
-// verdicts are merged in manifest order, so duplicate resolution
-// ("first occurrence wins") and error selection do not depend on worker
-// scheduling — and each verified payload is kept in the reader's segment
-// cache, so replay does not decompress recently verified segments a
-// second time.
-func OpenParallel(dir string, workers int) (*Reader, error) {
-	man, err := loadManifest(dir)
+// OpenParallel is Open with an explicit verification fan-out.
+func OpenParallel(location string, workers int) (*Reader, error) {
+	return OpenWith(location, OpenOptions{Workers: workers})
+}
+
+// OpenRange opens only the slice of the archive covering [from, to]:
+// segments whose manifest range misses the interval are neither fetched
+// nor verified, and blocks outside it are not indexed or replayed.
+func OpenRange(location string, from, to int64) (*Reader, error) {
+	return OpenWith(location, OpenOptions{From: from, To: to})
+}
+
+// OpenWith is Open with every knob exposed. The result is identical to a
+// serial open — per-segment verdicts merge in manifest order, so duplicate
+// resolution ("first occurrence wins") and error selection do not depend
+// on worker scheduling — and each verified payload is kept in the
+// reader's segment cache, so replay does not decompress recently verified
+// segments a second time.
+func OpenWith(location string, opts OpenOptions) (*Reader, error) {
+	st := opts.Store
+	if st == nil {
+		var err error
+		if st, err = blobstore.Resolve(location); err != nil {
+			return nil, err
+		}
+	} else if location == "" {
+		location = st.URL()
+	}
+	if opts.From != 0 || opts.To != 0 {
+		if opts.From <= 0 || opts.To < opts.From {
+			return nil, fmt.Errorf("archive: invalid block range [%d, %d]", opts.From, opts.To)
+		}
+	}
+	man, err := loadManifest(context.Background(), st)
 	if err != nil {
 		return nil, err
 	}
 	r := &Reader{
-		dir:      dir,
+		url:      location,
+		store:    st,
 		man:      man,
 		index:    make(map[int64]recordRef),
 		cache:    make(map[int][]byte),
 		maxCache: 4,
 	}
+	// The covering set: every segment for a full open, only the ones whose
+	// [Min, Max] intersects [From, To] for a ranged one. Any in-range
+	// block necessarily lives in an intersecting segment, so skipping the
+	// rest loses nothing.
+	for i, seg := range man.Segments {
+		if opts.From > 0 && (seg.Max < opts.From || seg.Min > opts.To) {
+			continue
+		}
+		r.covering = append(r.covering, i)
+	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(man.Segments) {
-		workers = len(man.Segments)
+	if workers > len(r.covering) {
+		workers = len(r.covering)
 	}
 	type verdict struct {
 		records []segRecord
 		payload []byte
 		err     error
 	}
-	verdicts := make([]verdict, len(man.Segments))
+	verdicts := make([]verdict, len(r.covering))
 	next := int64(0)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -92,19 +148,20 @@ func OpenParallel(dir string, workers int) (*Reader, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(man.Segments) {
+				k := int(atomic.AddInt64(&next, 1)) - 1
+				if k >= len(r.covering) {
 					return
 				}
-				records, payload, err := r.verifySegment(i, man.Segments[i])
+				i := r.covering[k]
+				records, payload, err := r.verifySegment(man.Segments[i])
 				// Only the newest maxCache payloads are kept for the
 				// cache below; dropping the rest here keeps Open's peak
 				// memory at O(workers + maxCache) segments instead of
 				// the whole uncompressed archive.
-				if i < len(man.Segments)-r.maxCache {
+				if k < len(r.covering)-r.maxCache {
 					payload = nil
 				}
-				verdicts[i] = verdict{records, payload, err}
+				verdicts[k] = verdict{records, payload, err}
 			}
 		}()
 	}
@@ -112,13 +169,17 @@ func OpenParallel(dir string, workers int) (*Reader, error) {
 	// Merge in manifest order: the first error by segment position wins,
 	// and a duplicate block number resolves to its earliest-written record
 	// exactly as the old serial walk resolved it.
-	for i := range verdicts {
-		if err := verdicts[i].err; err != nil {
+	for k := range verdicts {
+		if err := verdicts[k].err; err != nil {
 			return nil, err
 		}
 	}
-	for i, v := range verdicts {
+	for k, v := range verdicts {
+		i := r.covering[k]
 		for _, rec := range v.records {
+			if opts.From > 0 && (rec.num < opts.From || rec.num > opts.To) {
+				continue
+			}
 			if _, dup := r.index[rec.num]; !dup {
 				r.index[rec.num] = recordRef{seg: i, off: rec.off, n: rec.n}
 			}
@@ -133,12 +194,12 @@ func OpenParallel(dir string, workers int) (*Reader, error) {
 	// Seed the payload cache with the newest verified segments: the
 	// reverse-chronological crawl replays them first, and re-reading what
 	// Open just decompressed was the old path's wasted second pass.
-	for i := len(verdicts) - r.maxCache; i < len(verdicts); i++ {
-		if i < 0 {
+	for k := len(verdicts) - r.maxCache; k < len(verdicts); k++ {
+		if k < 0 {
 			continue
 		}
-		r.cache[i] = verdicts[i].payload
-		r.order = append(r.order, i)
+		r.cache[r.covering[k]] = verdicts[k].payload
+		r.order = append(r.order, r.covering[k])
 	}
 	return r, nil
 }
@@ -153,18 +214,22 @@ type segRecord struct {
 // verifySegment checks one segment against its manifest entry, returning
 // the records it holds (in write order) and the decompressed payload for
 // the reader's cache. It touches no shared Reader state, so segments
-// verify concurrently.
-func (r *Reader) verifySegment(i int, seg SegmentInfo) ([]segRecord, []byte, error) {
-	path := filepath.Join(r.dir, seg.File)
-	compressed, err := os.ReadFile(path)
+// verify concurrently. A store failure that is not absence propagates
+// as-is — a flaky backend is not corruption.
+func (r *Reader) verifySegment(seg SegmentInfo) ([]segRecord, []byte, error) {
+	compressed, err := r.store.Get(context.Background(), seg.File)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return nil, nil, fmt.Errorf("archive: manifest references missing segment %s: %w", seg.File, ErrCorrupt)
 		}
 		return nil, nil, err
 	}
+	if seg.CompBytes > 0 && int64(len(compressed)) != seg.CompBytes {
+		return nil, nil, fmt.Errorf("archive: segment %s is %d bytes, manifest says %d (truncated or modified): %w",
+			seg.File, len(compressed), seg.CompBytes, ErrCorrupt)
+	}
 	if got := sha256Hex(compressed); got != seg.SHA256 {
-		return nil, nil, fmt.Errorf("archive: segment %s checksum mismatch (manifest %s, file %s — truncated or modified): %w",
+		return nil, nil, fmt.Errorf("archive: segment %s checksum mismatch (manifest %s, object %s — truncated or modified): %w",
 			seg.File, short(seg.SHA256), short(got), ErrCorrupt)
 	}
 	payload, err := decompressSegment(compressed)
@@ -243,19 +308,21 @@ func short(h string) string {
 // Chain returns the archived chain name.
 func (r *Reader) Chain() string { return r.man.Chain }
 
-// Segments reports how many segment files the archive holds.
-func (r *Reader) Segments() int { return len(r.man.Segments) }
+// Segments reports how many segments this open reads (all of them for a
+// full open, the covering subset for a ranged one).
+func (r *Reader) Segments() int { return len(r.covering) }
 
-// Blocks counts the distinct archived block numbers.
+// Blocks counts the distinct archived block numbers in this open's range.
 func (r *Reader) Blocks() int64 { return int64(len(r.index)) }
 
-// From returns the lowest archived block number (0 when empty).
+// From returns the lowest archived block number in range (0 when empty).
 func (r *Reader) From() int64 { return r.min }
 
-// To returns the highest archived block number (0 when empty).
+// To returns the highest archived block number in range (0 when empty).
 func (r *Reader) To() int64 { return r.max }
 
-// Covers reports whether every block in [from, to] is archived.
+// Covers reports whether every block in [from, to] is archived (and in
+// this open's range).
 func (r *Reader) Covers(from, to int64) bool {
 	if from <= 0 || to < from {
 		return false
@@ -268,21 +335,22 @@ func (r *Reader) Covers(from, to int64) bool {
 	return true
 }
 
-// Head implements collect.BlockFetcher: the archive's newest block stands
-// in for the live chain head.
+// Head implements collect.BlockFetcher: the archive's newest in-range
+// block stands in for the live chain head.
 func (r *Reader) Head(ctx context.Context) (int64, error) {
 	if r.max == 0 {
-		return 0, fmt.Errorf("archive: %s is empty", r.dir)
+		return 0, fmt.Errorf("archive: %s is empty", r.url)
 	}
 	return r.max, nil
 }
 
-// FetchBlock implements collect.BlockFetcher from disk. The returned slice
-// is a copy in a recycled buffer — exclusively the caller's (see OwnsRaw).
+// FetchBlock implements collect.BlockFetcher from the store. The returned
+// slice is a copy in a recycled buffer — exclusively the caller's (see
+// OwnsRaw).
 func (r *Reader) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
 	ref, ok := r.index[num]
 	if !ok {
-		return nil, fmt.Errorf("archive: block %d is not archived in %s", num, r.dir)
+		return nil, fmt.Errorf("archive: block %d is not archived in %s", num, r.url)
 	}
 	payload, err := r.segmentPayload(ref.seg)
 	if err != nil {
@@ -304,14 +372,18 @@ func (r *Reader) FetchBlock(ctx context.Context, num int64) ([]byte, error) {
 // collect.RawRecycler contract).
 func (r *Reader) OwnsRaw() bool { return true }
 
-// loadSegment re-reads and re-verifies segment i from disk. Open already
-// verified the bytes; a file that fails the checksum here was modified
-// after Open.
+// loadSegment re-fetches and re-verifies segment i from the store. Open
+// already verified the bytes; an object that fails the checksum here was
+// modified after Open.
 func (r *Reader) loadSegment(i int) ([]byte, error) {
 	seg := r.man.Segments[i]
-	compressed, err := os.ReadFile(filepath.Join(r.dir, seg.File))
+	compressed, err := r.store.Get(context.Background(), seg.File)
 	if err != nil {
 		return nil, err
+	}
+	if seg.CompBytes > 0 && int64(len(compressed)) != seg.CompBytes {
+		return nil, fmt.Errorf("archive: segment %s is %d bytes after open, manifest says %d: %w",
+			seg.File, len(compressed), seg.CompBytes, ErrCorrupt)
 	}
 	if got := sha256Hex(compressed); got != seg.SHA256 {
 		return nil, fmt.Errorf("archive: segment %s changed after open (checksum %s, expected %s): %w",
@@ -325,7 +397,7 @@ func (r *Reader) loadSegment(i int) ([]byte, error) {
 }
 
 // segmentPayload returns a segment's uncompressed stream, from cache or by
-// re-reading the file, keeping the result cached for the stride-sharded
+// re-fetching the object, keeping the result cached for the stride-sharded
 // FetchBlock walk that revisits segments many times.
 func (r *Reader) segmentPayload(i int) ([]byte, error) {
 	r.mu.Lock()
@@ -358,13 +430,15 @@ func (r *Reader) segmentPayload(i int) ([]byte, error) {
 	return payload, nil
 }
 
-// Replay walks every distinct archived block exactly once, fanning out at
-// segment granularity: up to `workers` goroutines (0 or less means one per
-// CPU) each claim a segment, materialize its payload — from the cache Open
-// seeded, or by one checksum-verified decompression through the pooled
-// gzip readers — and walk its records in place. visit runs concurrently
-// from all workers; the worker index (0 ≤ worker < returned worker count)
-// lets visitors keep per-worker state, e.g. core shards, without locks.
+// Replay walks every distinct archived block in this open's range exactly
+// once, fanning out at segment granularity: up to `workers` goroutines (0
+// or less means one per CPU) each claim a covering segment, materialize
+// its payload — from the cache Open seeded, or by one checksum-verified
+// fetch through the pooled gzip readers — and walk its records in place.
+// Segments outside a ranged open are never touched. visit runs
+// concurrently from all workers; the worker index (0 ≤ worker < returned
+// worker count) lets visitors keep per-worker state, e.g. core shards,
+// without locks.
 //
 // raw aliases the segment's decompressed payload and is only valid for the
 // duration of the call — visitors must copy (or decode, the wire codecs
@@ -377,8 +451,8 @@ func (r *Reader) Replay(ctx context.Context, workers int, visit func(worker int,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(r.man.Segments) {
-		workers = len(r.man.Segments)
+	if workers > len(r.covering) {
+		workers = len(r.covering)
 	}
 	var (
 		wg       sync.WaitGroup
@@ -394,11 +468,11 @@ func (r *Reader) Replay(ctx context.Context, workers int, visit func(worker int,
 				if failed.Load() || ctx.Err() != nil {
 					return
 				}
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(r.man.Segments) {
+				k := int(atomic.AddInt64(&next, 1)) - 1
+				if k >= len(r.covering) {
 					return
 				}
-				if err := r.replaySegment(ctx, worker, i, visit); err != nil {
+				if err := r.replaySegment(ctx, worker, r.covering[k], visit); err != nil {
 					firstErr.set(err)
 					failed.Store(true)
 					return
@@ -414,7 +488,8 @@ func (r *Reader) Replay(ctx context.Context, workers int, visit func(worker int,
 }
 
 // replaySegment walks one segment's records, delivering each block this
-// segment owns (per the duplicate-resolved index) to visit.
+// segment owns (per the duplicate-resolved, range-filtered index) to
+// visit.
 func (r *Reader) replaySegment(ctx context.Context, worker, i int, visit func(worker int, num int64, raw []byte) error) error {
 	payload, err := r.replayPayload(i)
 	if err != nil {
@@ -429,7 +504,8 @@ func (r *Reader) replaySegment(ctx context.Context, worker, i int, visit func(wo
 		n := int64(binary.BigEndian.Uint32(payload[off+8 : off+12]))
 		off += 12
 		// Deliver only the record the duplicate-resolved index owns: a
-		// block re-archived by a resumed crawl replays exactly once.
+		// block re-archived by a resumed crawl replays exactly once, and an
+		// out-of-range block in a covering segment not at all.
 		if ref, ok := r.index[num]; ok && ref.seg == i && ref.off == off {
 			if err := visit(worker, num, payload[off:off+n]); err != nil {
 				return err
@@ -441,10 +517,9 @@ func (r *Reader) replaySegment(ctx context.Context, worker, i int, visit func(wo
 }
 
 // replayPayload returns segment i's uncompressed stream for a one-shot
-// replay walk: a cache hit is served as-is, but a miss decompresses
-// without inserting — each segment is walked exactly once per Replay, so
-// caching it would only evict the segments the FetchBlock path still
-// revisits.
+// replay walk: a cache hit is served as-is, but a miss fetches without
+// inserting — each segment is walked exactly once per Replay, so caching
+// it would only evict the segments the FetchBlock path still revisits.
 func (r *Reader) replayPayload(i int) ([]byte, error) {
 	r.mu.Lock()
 	if payload, ok := r.cache[i]; ok {

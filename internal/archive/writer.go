@@ -1,25 +1,29 @@
 package archive
 
 import (
+	"bytes"
 	"compress/gzip"
-	"crypto/sha256"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash"
 	"io"
 	"io/fs"
-	"os"
-	"path/filepath"
 	"sync"
+
+	"repro/internal/blobstore"
 )
 
 // WriterConfig parameterizes an archive writer.
 type WriterConfig struct {
-	// Dir is the archive directory; it is created if missing. A directory
-	// holding an existing manifest is appended to (the chain must match),
-	// so a resumed crawl extends its archive instead of clobbering it.
+	// Dir is the archive location: a blob-store URL (file://, mem://,
+	// s3://, null://) or a bare directory path. A location holding an
+	// existing manifest is appended to (the chain must match), so a
+	// resumed crawl extends its archive instead of clobbering it.
 	Dir string
+	// Store overrides URL resolution with an explicit backend (tests
+	// inject Faulty-wrapped stores here). Dir is then only a label.
+	Store blobstore.Store
 	// Chain names the archived chain ("eos", "tezos", "xrp"); recorded in
 	// the manifest and validated on replay.
 	Chain string
@@ -41,38 +45,39 @@ func (c WriterConfig) withDefaults() WriterConfig {
 	return c
 }
 
-// Writer tees a crawl's raw block stream into segment files. Append is the
-// collect.CrawlConfig.Tee shape and is safe for concurrent use — crawl
-// workers deliver from many goroutines. Close finalizes the open segment
-// and the manifest; until a segment is finalized (fsync + rename into
-// place) it lives under a .tmp name that replay ignores, so an interrupt
-// racing a rotation can tear nothing.
+// Writer tees a crawl's raw block stream into segment objects. Append is
+// the collect.CrawlConfig.Tee shape and is safe for concurrent use —
+// crawl workers deliver from many goroutines. A segment buffers in memory
+// (bounded by SegmentBytes) until complete, then publishes through the
+// store's atomic Put and commits to the manifest; an interrupt racing a
+// rotation can tear nothing because nothing partial is ever visible.
+//
+// A failed publish poisons the writer: the failing segment is discarded
+// (its blocks were reported as Append errors, so the crawl never marked
+// them done and a resume refetches them) and every later Append and Close
+// returns the original failure — the archive never silently drops a
+// segment from its middle.
 type Writer struct {
 	mu     sync.Mutex
 	cfg    WriterConfig
+	store  blobstore.Store
 	man    Manifest
 	next   int // next segment file number
 	cur    *openSegment
 	blocks int64 // records across finalized + open segments this session
+	fail   error // sticky: first store failure, poisons the writer
 	closed bool
 }
 
-// openSegment is the in-progress segment: a gzip stream over a .tmp file,
-// hashed as compressed bytes reach the file.
+// openSegment is the in-progress segment: a gzip stream into a memory
+// buffer, published as one object on rotation.
 type openSegment struct {
-	tmpPath string
-	file    *os.File
-	sha     hash.Hash
-	gz      *gzip.Writer
-	info    SegmentInfo
+	buf  bytes.Buffer
+	gz   *gzip.Writer
+	info SegmentInfo
 	// hdr is the record length-prefix scratch, reused across Appends so
 	// the 12-byte header never escapes to the heap per record.
 	hdr [12]byte
-	// poisoned is set when a record write failed partway: the stream may
-	// hold a torn record, so the segment must be discarded, never
-	// finalized into the manifest (a checksummed torn segment would fail
-	// the record walk on every later Open and brick the whole archive).
-	poisoned bool
 }
 
 // gzWriterPool recycles gzip compressors across segment rotations; a
@@ -93,23 +98,39 @@ func putGzipWriter(gz *gzip.Writer) {
 	gzWriterPool.Put(gz)
 }
 
-// NewWriter opens dir for archiving. Stray .tmp files from a previous
-// crash are swept; an existing manifest is loaded and extended.
+// NewWriter opens cfg.Dir for archiving. An existing manifest is loaded
+// and extended; on a filesystem store, stray .tmp files from a previous
+// crash are swept.
 func NewWriter(cfg WriterConfig) (*Writer, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Chain == "" {
 		return nil, errors.New("archive: writer needs a chain name")
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-		return nil, err
+	st := cfg.Store
+	if st == nil {
+		var err error
+		if st, err = blobstore.Resolve(cfg.Dir); err != nil {
+			return nil, err
+		}
+	} else if cfg.Dir == "" {
+		cfg.Dir = st.URL()
 	}
-	w := &Writer{cfg: cfg, next: 1, man: Manifest{Version: 1, Chain: cfg.Chain}}
-	man, err := loadManifest(cfg.Dir)
+	// A crashed writer on a filesystem may leave unpublished scratch
+	// files; they were never referenced by the manifest, so they are
+	// garbage. Other backends have no partial-put residue to sweep.
+	if sweeper, ok := st.(interface{ Sweep() error }); ok {
+		if err := sweeper.Sweep(); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+	}
+	w := &Writer{cfg: cfg, store: st, next: 1, man: Manifest{Version: manifestVersion, Chain: cfg.Chain}}
+	man, err := loadManifest(context.Background(), st)
 	switch {
 	case err == nil:
 		if man.Chain != cfg.Chain {
-			return nil, fmt.Errorf("archive: %s already archives chain %q, not %q", cfg.Dir, man.Chain, cfg.Chain)
+			return nil, fmt.Errorf("archive: %s already archives chain %q, not %q", st.URL(), man.Chain, cfg.Chain)
 		}
+		man.Version = manifestVersion // rewritten as v2 on the next save
 		w.man = man
 		for _, s := range man.Segments {
 			var n int
@@ -121,17 +142,6 @@ func NewWriter(cfg WriterConfig) (*Writer, error) {
 		// Fresh archive.
 	default:
 		return nil, err
-	}
-	// A crashed writer leaves its open segment as *.tmp; it was never
-	// referenced by the manifest, so it is garbage.
-	strays, err := filepath.Glob(filepath.Join(cfg.Dir, "segment-*.gz.tmp"))
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range strays {
-		if err := os.Remove(s); err != nil {
-			return nil, err
-		}
 	}
 	return w, nil
 }
@@ -149,23 +159,21 @@ func (w *Writer) Append(num int64, raw []byte) error {
 	if w.closed {
 		return errors.New("archive: append to closed writer")
 	}
-	if w.cur != nil && w.cur.poisoned {
-		return errors.New("archive: a previous write failed; the open segment is poisoned")
+	if w.fail != nil {
+		return fmt.Errorf("archive: writer poisoned by earlier failure: %w", w.fail)
 	}
 	if w.cur == nil {
-		if err := w.openSegmentLocked(); err != nil {
-			return err
-		}
+		w.openSegmentLocked()
 	}
 	hdr := w.cur.hdr[:]
 	binary.BigEndian.PutUint64(hdr[:8], uint64(num))
 	binary.BigEndian.PutUint32(hdr[8:], uint32(len(raw)))
 	if _, err := w.cur.gz.Write(hdr); err != nil {
-		w.cur.poisoned = true
+		w.poisonLocked(err)
 		return fmt.Errorf("archive: writing block %d: %w", num, err)
 	}
 	if _, err := w.cur.gz.Write(raw); err != nil {
-		w.cur.poisoned = true
+		w.poisonLocked(err)
 		return fmt.Errorf("archive: writing block %d: %w", num, err)
 	}
 	info := &w.cur.info
@@ -184,62 +192,64 @@ func (w *Writer) Append(num int64, raw []byte) error {
 	return nil
 }
 
-// openSegmentLocked starts the next segment under its .tmp name.
-func (w *Writer) openSegmentLocked() error {
-	name := segmentName(w.next)
-	tmp := filepath.Join(w.cfg.Dir, name+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	seg := &openSegment{tmpPath: tmp, file: f, sha: sha256.New(), info: SegmentInfo{File: name}}
-	seg.gz = getGzipWriter(io.MultiWriter(f, seg.sha))
-	if _, err := seg.gz.Write([]byte(segmentMagic)); err != nil {
-		putGzipWriter(seg.gz)
-		f.Close()
-		return err
-	}
+// openSegmentLocked starts the next segment's in-memory stream.
+func (w *Writer) openSegmentLocked() {
+	seg := &openSegment{info: SegmentInfo{File: segmentName(w.next)}}
+	seg.buf.Grow(64 << 10)
+	seg.gz = getGzipWriter(&seg.buf)
+	seg.gz.Write([]byte(segmentMagic)) // buffer writes cannot fail
 	w.cur = seg
 	w.next++
-	return nil
 }
 
-// rotateLocked finalizes the open segment — flush, fsync, rename into
-// place, directory fsync — and commits it to the manifest atomically. Only
-// after the manifest rewrite does replay see the segment, so a crash at
-// any point in this sequence leaves the archive exactly as it was before
-// the segment opened.
+// poisonLocked discards the open segment and marks the writer failed.
+func (w *Writer) poisonLocked(err error) {
+	w.fail = err
+	if w.cur != nil {
+		w.cur.gz.Close()
+		putGzipWriter(w.cur.gz)
+		w.cur = nil
+	}
+}
+
+// rotateLocked finalizes the open segment — flush the compressor, hash,
+// publish atomically — and commits it to the manifest. Only after the
+// manifest rewrite does replay see the segment, so a failure at any point
+// leaves the archive exactly as it was before the segment opened (and
+// poisons the writer: see Writer).
 func (w *Writer) rotateLocked() error {
 	seg := w.cur
 	w.cur = nil
 	err := seg.gz.Close()
 	putGzipWriter(seg.gz)
 	if err != nil {
+		w.fail = err
 		return fmt.Errorf("archive: finalizing %s: %w", seg.info.File, err)
 	}
-	if err := seg.file.Sync(); err != nil {
-		seg.file.Close()
-		return fmt.Errorf("archive: syncing %s: %w", seg.info.File, err)
-	}
-	if err := seg.file.Close(); err != nil {
-		return fmt.Errorf("archive: closing %s: %w", seg.info.File, err)
-	}
-	seg.info.SHA256 = fmt.Sprintf("%x", seg.sha.Sum(nil))
-	final := filepath.Join(w.cfg.Dir, seg.info.File)
-	if err := os.Rename(seg.tmpPath, final); err != nil {
-		return err
-	}
-	if err := syncDir(w.cfg.Dir); err != nil {
-		return err
+	data := seg.buf.Bytes()
+	seg.info.SHA256 = sha256Hex(data)
+	seg.info.CompBytes = int64(len(data))
+	ctx := context.Background()
+	if err := w.store.Put(ctx, seg.info.File, data); err != nil {
+		w.fail = err
+		return fmt.Errorf("archive: publishing %s to %s: %w", seg.info.File, w.store.URL(), err)
 	}
 	w.man.Segments = append(w.man.Segments, seg.info)
-	return saveManifest(w.cfg.Dir, w.man)
+	if err := saveManifest(ctx, w.store, w.man); err != nil {
+		// The segment object exists but is unreferenced; a resumed crawl
+		// overwrites it under the same name. Poison so nothing after this
+		// hole gets archived.
+		w.fail = err
+		return err
+	}
+	return nil
 }
 
 // Close finalizes the open segment (if it holds any records) and writes
 // the manifest. A Writer whose crawl archived nothing still manifests the
-// empty archive, so a later Open distinguishes "archived zero blocks" from
-// "never archived".
+// empty archive, so a later Open distinguishes "archived zero blocks"
+// from "never archived". A poisoned writer returns its original failure
+// and touches nothing.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -247,23 +257,20 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.fail != nil {
+		return fmt.Errorf("archive: writer poisoned by earlier failure: %w", w.fail)
+	}
 	if w.cur != nil {
-		if w.cur.info.Blocks > 0 && !w.cur.poisoned {
+		if w.cur.info.Blocks > 0 {
 			return w.rotateLocked()
 		}
-		// Empty or poisoned open segment: discard the tmp file. A
-		// poisoned segment's blocks were reported as Append errors, so
-		// the crawl never marked them done and a resume refetches them.
+		// Empty open segment: just drop the buffer.
 		seg := w.cur
 		w.cur = nil
 		seg.gz.Close()
 		putGzipWriter(seg.gz)
-		seg.file.Close()
-		if err := os.Remove(seg.tmpPath); err != nil {
-			return err
-		}
 	}
-	return saveManifest(w.cfg.Dir, w.man)
+	return saveManifest(context.Background(), w.store, w.man)
 }
 
 // Blocks reports how many records this writer appended (duplicates
@@ -279,13 +286,13 @@ func (w *Writer) Segments() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	n := len(w.man.Segments)
-	if w.cur != nil && w.cur.info.Blocks > 0 && !w.cur.poisoned {
+	if w.cur != nil && w.cur.info.Blocks > 0 {
 		n++ // the open segment will be finalized by Close
 	}
 	return n
 }
 
-// Dir returns the archive directory.
+// Dir returns the archive location as configured.
 func (w *Writer) Dir() string { return w.cfg.Dir }
 
 // Chain returns the archived chain name.

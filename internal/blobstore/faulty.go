@@ -1,0 +1,140 @@
+package blobstore
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Faulty wraps any Store with injectable failures and latency, so tests
+// can drive the archive's error paths — a Put that dies mid-crawl, a
+// segment fetch that flakes during replay — against every backend without
+// touching a real network or filesystem.
+type Faulty struct {
+	base Store
+
+	mu    sync.Mutex
+	errs  map[string]*fault
+	delay time.Duration
+	calls map[string]int64
+}
+
+// fault is one armed failure: fire err on every call once `after` more
+// successful calls have passed, `times` times (times < 0 = forever).
+type fault struct {
+	err   error
+	after int
+	times int
+}
+
+// NewFaulty wraps base.
+func NewFaulty(base Store) *Faulty {
+	return &Faulty{base: base, errs: make(map[string]*fault), calls: make(map[string]int64)}
+}
+
+// Break arms op (an Op* constant) to fail with err on every call until
+// Clear. Break(op, nil) clears it.
+func (f *Faulty) Break(op string, err error) { f.BreakAfter(op, 0, -1, err) }
+
+// BreakAfter arms op to succeed `after` more times, then fail with err
+// `times` times (times < 0 = forever), then recover.
+func (f *Faulty) BreakAfter(op string, after, times int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		delete(f.errs, op)
+		return
+	}
+	f.errs[op] = &fault{err: err, after: after, times: times}
+}
+
+// Clear disarms every fault and zeroes the delay.
+func (f *Faulty) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errs = make(map[string]*fault)
+	f.delay = 0
+}
+
+// Delay makes every operation sleep d before running (0 disables).
+func (f *Faulty) Delay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// Calls reports how many times op has been invoked (including faulted
+// calls).
+func (f *Faulty) Calls(op string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+// check counts the call, applies any delay, and returns the armed error
+// if the fault fires.
+func (f *Faulty) check(op string) error {
+	f.mu.Lock()
+	f.calls[op]++
+	d := f.delay
+	var err error
+	if ft, ok := f.errs[op]; ok {
+		if ft.after > 0 {
+			ft.after--
+		} else if ft.times != 0 {
+			if ft.times > 0 {
+				ft.times--
+			}
+			err = ft.err
+		}
+	}
+	f.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return err
+}
+
+func (f *Faulty) URL() string { return f.base.URL() }
+
+func (f *Faulty) Put(ctx context.Context, key string, data []byte) error {
+	if err := f.check(OpPut); err != nil {
+		return err
+	}
+	return f.base.Put(ctx, key, data)
+}
+
+func (f *Faulty) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := f.check(OpGet); err != nil {
+		return nil, err
+	}
+	return f.base.Get(ctx, key)
+}
+
+func (f *Faulty) GetRange(ctx context.Context, key string, off, n int64) ([]byte, error) {
+	if err := f.check(OpGetRange); err != nil {
+		return nil, err
+	}
+	return f.base.GetRange(ctx, key, off, n)
+}
+
+func (f *Faulty) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := f.check(OpList); err != nil {
+		return nil, err
+	}
+	return f.base.List(ctx, prefix)
+}
+
+func (f *Faulty) Stat(ctx context.Context, key string) (int64, error) {
+	if err := f.check(OpStat); err != nil {
+		return 0, err
+	}
+	return f.base.Stat(ctx, key)
+}
+
+func (f *Faulty) Delete(ctx context.Context, key string) error {
+	if err := f.check(OpDelete); err != nil {
+		return err
+	}
+	return f.base.Delete(ctx, key)
+}

@@ -1,0 +1,68 @@
+package blobstore_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/blobstore"
+)
+
+func TestFaultyInjection(t *testing.T) {
+	ctx := context.Background()
+	base := blobstore.NewMemory()
+	f := blobstore.NewFaulty(base)
+	boom := errors.New("disk on fire")
+
+	if err := f.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Break: every call of the op fails until cleared; other ops pass.
+	f.Break(blobstore.OpGet, boom)
+	if _, err := f.Get(ctx, "k"); !errors.Is(err, boom) {
+		t.Fatalf("broken Get: %v", err)
+	}
+	if _, err := f.Stat(ctx, "k"); err != nil {
+		t.Fatalf("Stat while Get broken: %v", err)
+	}
+	f.Break(blobstore.OpGet, nil)
+	if got, err := f.Get(ctx, "k"); err != nil || string(got) != "v" {
+		t.Fatalf("Get after clear: %q, %v", got, err)
+	}
+
+	// BreakAfter: N successes, M failures, then recovery.
+	f.BreakAfter(blobstore.OpGet, 1, 2, boom)
+	if _, err := f.Get(ctx, "k"); err != nil {
+		t.Fatalf("call 1 (allowed): %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Get(ctx, "k"); !errors.Is(err, boom) {
+			t.Fatalf("call %d (faulted): %v", i+2, err)
+		}
+	}
+	if _, err := f.Get(ctx, "k"); err != nil {
+		t.Fatalf("call 4 (recovered): %v", err)
+	}
+
+	if n := f.Calls(blobstore.OpGet); n != 6 {
+		t.Errorf("Get calls: %d, want 6", n)
+	}
+}
+
+func TestFaultyDelay(t *testing.T) {
+	f := blobstore.NewFaulty(blobstore.NewMemory())
+	f.Delay(30 * time.Millisecond)
+	start := time.Now()
+	_ = f.Put(context.Background(), "k", nil)
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("delayed Put took %v, want >= 30ms", d)
+	}
+	f.Clear()
+	start = time.Now()
+	_ = f.Put(context.Background(), "k", nil)
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("Put after Clear took %v", d)
+	}
+}

@@ -1,0 +1,212 @@
+package blobstore
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is the local-filesystem backend: keys map to files under a root
+// directory. Put preserves the durability semantics the archive Writer
+// established on one machine — write to a .tmp sibling, fsync, rename
+// into place, fsync the directory — so a crash mid-Put never publishes a
+// torn object and loses nothing already published.
+type File struct {
+	root string
+}
+
+// NewFile opens (lazily — the directory is created on first Put) a file
+// store rooted at root.
+func NewFile(root string) *File { return &File{root: root} }
+
+// URL returns the store's file:// location.
+func (f *File) URL() string { return "file://" + f.root }
+
+// path maps a key onto the root.
+func (f *File) path(key string) string {
+	return filepath.Join(f.root, filepath.FromSlash(key))
+}
+
+// Put implements Store with tmp + fsync + rename + dir-fsync atomicity.
+func (f *File) Put(ctx context.Context, key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dst := f.path(key)
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Unique tmp per Put: concurrent writers to one key must not stomp a
+	// shared scratch file between each other's write and rename.
+	tmp, err := os.CreateTemp(dir, filepath.Base(dst)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	// CreateTemp's 0600 would make archives unreadable to other users.
+	_ = tmp.Chmod(0o644)
+	if err := writeSyncClose(tmp, data); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(dir)
+}
+
+func (f *File) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(f.path(key))
+}
+
+func (f *File) GetRange(ctx context.Context, key string, off, n int64) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("blobstore: negative offset %d for %s", off, key)
+	}
+	fh, err := os.Open(f.path(key))
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if n < 0 {
+		n = size - off
+	}
+	if off+n > size || n < 0 {
+		return nil, fmt.Errorf("blobstore: range [%d, %d) exceeds %s (%d bytes)", off, off+n, key, size)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(fh, off, n), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// List walks the root, returning published keys (in-flight .tmp files are
+// invisible, exactly as un-renamed segments always were) sorted. A root
+// that does not exist reports fs.ErrNotExist.
+func (f *File) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var keys []string
+	err := filepath.WalkDir(f.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(f.root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func (f *File) Stat(ctx context.Context, key string) (int64, error) {
+	if err := validKey(key); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(f.path(key))
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (f *File) Delete(ctx context.Context, key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := os.Remove(f.path(key)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Sweep removes stray .tmp files left by a crash mid-Put. They were never
+// published (the rename never happened), so they are garbage; the archive
+// Writer calls this on open, matching its historical stray-segment sweep.
+func (f *File) Sweep() error {
+	err := filepath.WalkDir(f.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".tmp") {
+			return os.Remove(path)
+		}
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// writeSyncClose writes data to an open file and fsyncs it before closing.
+func writeSyncClose(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames into it are durable. Directory
+// fsync support varies by platform and the rename is atomic regardless, so
+// a failed sync on an opened directory is not fatal.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

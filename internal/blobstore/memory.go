@@ -1,0 +1,210 @@
+package blobstore
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Memory is the in-process backend: a mutex-guarded key→bytes map that
+// additionally counts every operation and byte moved. The counters are
+// the backend's whole point beyond speed — tests and benches assert fetch
+// locality ("this range replay issued exactly two gets") instead of
+// guessing at it.
+//
+// mem://NAME URLs resolve through a process-wide registry, so a writer
+// and a reader resolving the same URL in one process share one namespace
+// (and one set of counters).
+type Memory struct {
+	url string
+
+	mu       sync.Mutex
+	objects  map[string][]byte
+	ops      map[string]int64
+	bytesIn  int64
+	bytesOut int64
+}
+
+// memRegistry backs mem://NAME resolution: same name, same store.
+var memRegistry = struct {
+	sync.Mutex
+	stores map[string]*Memory
+	anon   int
+}{stores: make(map[string]*Memory)}
+
+// OpenMemory returns the process-wide memory store registered under name,
+// creating it on first use.
+func OpenMemory(name string) *Memory {
+	memRegistry.Lock()
+	defer memRegistry.Unlock()
+	st, ok := memRegistry.stores[name]
+	if !ok {
+		st = &Memory{url: "mem://" + name, objects: make(map[string][]byte), ops: make(map[string]int64)}
+		memRegistry.stores[name] = st
+	}
+	return st
+}
+
+// NewMemory returns a fresh anonymous memory store (registered under a
+// unique name so its URL still round-trips through Resolve).
+func NewMemory() *Memory {
+	memRegistry.Lock()
+	memRegistry.anon++
+	name := fmt.Sprintf("anon-%d", memRegistry.anon)
+	memRegistry.Unlock()
+	return OpenMemory(name)
+}
+
+// URL returns the store's mem:// location.
+func (m *Memory) URL() string { return m.url }
+
+func (m *Memory) count(op string, in, out int64) {
+	m.ops[op]++
+	m.bytesIn += in
+	m.bytesOut += out
+}
+
+func (m *Memory) Put(ctx context.Context, key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count(OpPut, int64(len(data)), 0)
+	m.objects[key] = cp
+	return nil
+}
+
+func (m *Memory) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("mem: %s: %w", key, fs.ErrNotExist)
+	}
+	m.count(OpGet, 0, int64(len(data)))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+func (m *Memory) GetRange(ctx context.Context, key string, off, n int64) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("mem: negative offset %d for %s", off, key)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("mem: %s: %w", key, fs.ErrNotExist)
+	}
+	size := int64(len(data))
+	if n < 0 {
+		n = size - off
+	}
+	if off > size || off+n > size || n < 0 {
+		return nil, fmt.Errorf("mem: range [%d, %d) exceeds %s (%d bytes)", off, off+n, key, size)
+	}
+	m.count(OpGetRange, 0, n)
+	cp := make([]byte, n)
+	copy(cp, data[off:off+n])
+	return cp, nil
+}
+
+func (m *Memory) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count(OpList, 0, 0)
+	keys := make([]string, 0, len(m.objects))
+	for k := range m.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func (m *Memory) Stat(ctx context.Context, key string) (int64, error) {
+	if err := validKey(key); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count(OpStat, 0, 0)
+	data, ok := m.objects[key]
+	if !ok {
+		return 0, fmt.Errorf("mem: %s: %w", key, fs.ErrNotExist)
+	}
+	return int64(len(data)), nil
+}
+
+func (m *Memory) Delete(ctx context.Context, key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count(OpDelete, 0, 0)
+	delete(m.objects, key)
+	return nil
+}
+
+// Ops reports how many times op has run since the last ResetOps.
+func (m *Memory) Ops(op string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops[op]
+}
+
+// Bytes reports total bytes written to (in) and read from (out) the store
+// since the last ResetOps.
+func (m *Memory) Bytes() (in, out int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesIn, m.bytesOut
+}
+
+// ResetOps zeroes the op and byte counters (the objects stay).
+func (m *Memory) ResetOps() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops = make(map[string]int64)
+	m.bytesIn, m.bytesOut = 0, 0
+}
+
+// Len reports how many objects the store holds.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.objects)
+}

@@ -1,0 +1,55 @@
+package blobstore
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"sync/atomic"
+)
+
+// Null is the discard backend: every Put succeeds and vanishes, every
+// read reports absence. It exists for perf probes — archiving a crawl to
+// null:// measures the full tee/segment/compress pipeline with the
+// storage cost subtracted — and keeps a put counter so tests can assert
+// the writer actually drove it.
+type Null struct {
+	puts atomic.Int64
+}
+
+// NewNull returns the discard store.
+func NewNull() *Null { return &Null{} }
+
+// URL returns the store's null:// location.
+func (n *Null) URL() string { return "null://" }
+
+func (n *Null) Put(ctx context.Context, key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n.puts.Add(1)
+	return nil
+}
+
+func (n *Null) Get(ctx context.Context, key string) ([]byte, error) {
+	return nil, fmt.Errorf("null: %s: %w", key, fs.ErrNotExist)
+}
+
+func (n *Null) GetRange(ctx context.Context, key string, off, nbytes int64) ([]byte, error) {
+	return nil, fmt.Errorf("null: %s: %w", key, fs.ErrNotExist)
+}
+
+func (n *Null) List(ctx context.Context, prefix string) ([]string, error) {
+	return nil, nil
+}
+
+func (n *Null) Stat(ctx context.Context, key string) (int64, error) {
+	return 0, fmt.Errorf("null: %s: %w", key, fs.ErrNotExist)
+}
+
+func (n *Null) Delete(ctx context.Context, key string) error { return nil }
+
+// Puts reports how many objects have been discarded.
+func (n *Null) Puts() int64 { return n.puts.Load() }

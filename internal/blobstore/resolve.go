@@ -1,0 +1,113 @@
+package blobstore
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// Schemes lists the store locations Resolve understands, for error
+// messages and flag docs.
+const Schemes = "file://PATH (or a bare path), mem://NAME[/PREFIX], s3://BUCKET[/PREFIX]?endpoint=URL&region=R, null://"
+
+// Resolve opens the store a location names:
+//
+//	/var/archives            local filesystem (bare paths keep working)
+//	file:///var/archives     local filesystem, explicit
+//	mem://crawl1/eos         in-process memory store "crawl1", keys under eos/
+//	s3://bucket/prefix       S3-compatible service (endpoint=, region= in query)
+//	null://                  discard sink
+//
+// Resolving the same mem:// name twice in one process yields the same
+// namespace, so a writer and a later reader see each other's objects.
+func Resolve(rawurl string) (Store, error) {
+	scheme, rest, ok := strings.Cut(rawurl, "://")
+	if !ok {
+		if rawurl == "" {
+			return nil, fmt.Errorf("blobstore: empty store location")
+		}
+		return NewFile(rawurl), nil
+	}
+	switch scheme {
+	case "file":
+		if rest == "" {
+			return nil, fmt.Errorf("blobstore: file:// needs a path")
+		}
+		return NewFile(rest), nil
+	case "mem":
+		name, prefix, _ := strings.Cut(rest, "/")
+		if name == "" {
+			return nil, fmt.Errorf("blobstore: mem:// needs a name (mem://NAME[/PREFIX])")
+		}
+		st := OpenMemory(name)
+		if prefix = strings.Trim(prefix, "/"); prefix != "" {
+			return &prefixed{base: st, prefix: prefix + "/", url: "mem://" + name + "/" + prefix}, nil
+		}
+		return st, nil
+	case "s3":
+		return newS3(rawurl)
+	case "null":
+		return NewNull(), nil
+	default:
+		return nil, fmt.Errorf("blobstore: unsupported scheme %s:// in %s (supported: %s)", scheme, rawurl, Schemes)
+	}
+}
+
+// prefixed scopes a store to a key prefix; mem://NAME/PREFIX resolves to
+// one (the S3 backend carries its prefix natively).
+type prefixed struct {
+	base   Store
+	prefix string // slash-terminated
+	url    string
+}
+
+func (p *prefixed) URL() string { return p.url }
+
+func (p *prefixed) Put(ctx context.Context, key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	return p.base.Put(ctx, p.prefix+key, data)
+}
+
+func (p *prefixed) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	return p.base.Get(ctx, p.prefix+key)
+}
+
+func (p *prefixed) GetRange(ctx context.Context, key string, off, n int64) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	return p.base.GetRange(ctx, p.prefix+key, off, n)
+}
+
+func (p *prefixed) List(ctx context.Context, prefix string) ([]string, error) {
+	keys, err := p.base.List(ctx, p.prefix+prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := keys[:0]
+	for _, k := range keys {
+		if strings.HasPrefix(k, p.prefix) {
+			out = append(out, strings.TrimPrefix(k, p.prefix))
+		}
+	}
+	return out, nil
+}
+
+func (p *prefixed) Stat(ctx context.Context, key string) (int64, error) {
+	if err := validKey(key); err != nil {
+		return 0, err
+	}
+	return p.base.Stat(ctx, p.prefix+key)
+}
+
+func (p *prefixed) Delete(ctx context.Context, key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	return p.base.Delete(ctx, p.prefix+key)
+}

@@ -1,0 +1,242 @@
+// Package s3stub runs an in-process S3-compatible HTTP server for tests:
+// path-style PutObject / GetObject (with Range) / HeadObject /
+// DeleteObject / ListObjectsV2 with pagination, plus knobs to fail the
+// next N requests — enough surface to exercise the blobstore S3 backend,
+// its retry loop, and end-to-end archive flows without a network.
+package s3stub
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Server is a stub S3 service. Create with New, stop with Close.
+type Server struct {
+	HTTP *httptest.Server
+
+	// PageSize caps ListObjectsV2 pages (0 = everything in one page); set
+	// it low to force continuation-token pagination.
+	PageSize int
+
+	mu       sync.Mutex
+	objects  map[string][]byte // "bucket/key" → bytes
+	requests int64
+	failN    int
+	failCode int
+}
+
+// New starts a stub listening on a local ephemeral port.
+func New() *Server {
+	s := &Server{objects: make(map[string][]byte)}
+	s.HTTP = httptest.NewServer(http.HandlerFunc(s.handle))
+	return s
+}
+
+// Close shuts the server down.
+func (s *Server) Close() { s.HTTP.Close() }
+
+// URL returns the s3:// location for bucket/prefix pointing at this stub,
+// ready for blobstore.Resolve.
+func (s *Server) URL(bucket, prefix string) string {
+	u := "s3://" + bucket
+	if prefix = strings.Trim(prefix, "/"); prefix != "" {
+		u += "/" + prefix
+	}
+	return u + "?endpoint=" + url.QueryEscape(s.HTTP.URL)
+}
+
+// FailNext makes the next n requests answer with the given HTTP status
+// before any are served normally again.
+func (s *Server) FailNext(n, code int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failN, s.failCode = n, code
+}
+
+// Requests reports how many requests the stub has served (including
+// injected failures).
+func (s *Server) Requests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// Len reports how many objects the stub holds.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+type listEntry struct {
+	Key  string `xml:"Key"`
+	Size int    `xml:"Size"`
+}
+
+type listResponse struct {
+	XMLName               xml.Name    `xml:"ListBucketResult"`
+	IsTruncated           bool        `xml:"IsTruncated"`
+	NextContinuationToken string      `xml:"NextContinuationToken,omitempty"`
+	Contents              []listEntry `xml:"Contents"`
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.requests++
+	if s.failN > 0 {
+		s.failN--
+		code := s.failCode
+		s.mu.Unlock()
+		http.Error(w, "injected failure", code)
+		return
+	}
+	s.mu.Unlock()
+
+	// Path-style: /bucket[/key...]. A bucket-only GET is ListObjectsV2.
+	parts := strings.SplitN(strings.TrimPrefix(r.URL.Path, "/"), "/", 2)
+	bucket := parts[0]
+	key := ""
+	if len(parts) == 2 {
+		key = parts[1]
+	}
+	if bucket == "" {
+		http.Error(w, "missing bucket", http.StatusBadRequest)
+		return
+	}
+	if key == "" && r.Method == http.MethodGet {
+		s.list(w, r, bucket)
+		return
+	}
+	obj := bucket + "/" + key
+
+	switch r.Method {
+	case http.MethodPut:
+		body := make([]byte, 0, r.ContentLength)
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := r.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		s.mu.Lock()
+		s.objects[obj] = body
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+
+	case http.MethodGet, http.MethodHead:
+		s.mu.Lock()
+		data, ok := s.objects[obj]
+		s.mu.Unlock()
+		if !ok {
+			http.Error(w, "NoSuchKey", http.StatusNotFound)
+			return
+		}
+		if r.Method == http.MethodHead {
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if rng := r.Header.Get("Range"); rng != "" {
+			from, to, ok := parseRange(rng, len(data))
+			if !ok {
+				http.Error(w, "InvalidRange", http.StatusRequestedRangeNotSatisfiable)
+				return
+			}
+			w.Header().Set("Content-Range",
+				fmt.Sprintf("bytes %d-%d/%d", from, to, len(data)))
+			w.WriteHeader(http.StatusPartialContent)
+			w.Write(data[from : to+1])
+			return
+		}
+		w.Write(data)
+
+	case http.MethodDelete:
+		s.mu.Lock()
+		delete(s.objects, obj)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+
+	default:
+		http.Error(w, "MethodNotAllowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// parseRange handles the "bytes=from-[to]" forms the blobstore client
+// sends; returns inclusive offsets.
+func parseRange(h string, size int) (from, to int, ok bool) {
+	spec, found := strings.CutPrefix(h, "bytes=")
+	if !found {
+		return 0, 0, false
+	}
+	lo, hi, found := strings.Cut(spec, "-")
+	if !found {
+		return 0, 0, false
+	}
+	from, err := strconv.Atoi(lo)
+	if err != nil || from < 0 || from >= size {
+		return 0, 0, false
+	}
+	if hi == "" {
+		return from, size - 1, true
+	}
+	to, err = strconv.Atoi(hi)
+	if err != nil || to < from {
+		return 0, 0, false
+	}
+	if to >= size {
+		to = size - 1
+	}
+	return from, to, true
+}
+
+// list implements ListObjectsV2 with prefix filtering and
+// continuation-token pagination (the token is the last key of the
+// previous page).
+func (s *Server) list(w http.ResponseWriter, r *http.Request, bucket string) {
+	q := r.URL.Query()
+	prefix := q.Get("prefix")
+	token := q.Get("continuation-token")
+
+	s.mu.Lock()
+	var keys []string
+	base := bucket + "/"
+	for k := range s.objects {
+		if rel, found := strings.CutPrefix(k, base); found && strings.HasPrefix(rel, prefix) {
+			keys = append(keys, rel)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+
+	if token != "" {
+		i := sort.SearchStrings(keys, token)
+		if i < len(keys) && keys[i] == token {
+			i++
+		}
+		keys = keys[i:]
+	}
+
+	resp := listResponse{}
+	limit := len(keys)
+	if s.PageSize > 0 && limit > s.PageSize {
+		limit = s.PageSize
+		resp.IsTruncated = true
+		resp.NextContinuationToken = keys[limit-1]
+	}
+	for _, k := range keys[:limit] {
+		resp.Contents = append(resp.Contents, listEntry{Key: k})
+	}
+
+	w.Header().Set("Content-Type", "application/xml")
+	out, _ := xml.Marshal(resp)
+	w.Write(out)
+}

@@ -4,19 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"path/filepath"
 
 	"repro/internal/archive"
+	"repro/internal/blobstore"
 	"repro/internal/collect"
 )
 
 // stageArchiveDir is the per-stage archive location under Options.ArchiveDir
-// ("" when archiving is off).
+// ("" when archiving is off). ArchiveDir may be a blob-store URL; the
+// stage lands under its path either way.
 func (o Options) stageArchiveDir(stage string) string {
 	if o.ArchiveDir == "" {
 		return ""
 	}
-	return filepath.Join(o.ArchiveDir, stage)
+	return blobstore.Join(o.ArchiveDir, stage)
 }
 
 // replayReader resolves a stage's archive to a replay fetcher.

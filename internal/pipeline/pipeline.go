@@ -80,11 +80,13 @@ type Options struct {
 	// window is needed.
 	SkipGovernance bool
 
-	// ArchiveDir makes the producer side of every stage durable. When set,
-	// each stage keeps its raw block archive under a per-stage
-	// subdirectory (ArchiveDir/eos, …): a live crawl tees its stream into
+	// ArchiveDir makes the producer side of every stage durable. It may be
+	// a plain directory path or a blob-store URL (file://, mem://,
+	// s3://bucket/prefix?endpoint=..., null:// — see blobstore.Resolve).
+	// When set, each stage keeps its raw block archive under a per-stage
+	// sub-location (ArchiveDir/eos, …): a live crawl tees its stream into
 	// a fresh archive as it fetches, and a rerun whose archive already
-	// covers the stage's block range replays it from disk instead —
+	// covers the stage's block range replays it from storage instead —
 	// no endpoints served, no probing, zero fetcher network calls. An
 	// archive that exists but does not cover the requested range (an
 	// interrupted run, or a scale/seed change since it was written) fails
