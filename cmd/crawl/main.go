@@ -21,11 +21,19 @@
 // reproduces byte-for-byte — on any backend — which the CI archive job
 // diffs.
 //
+// With -shard i/n the crawl becomes one worker of a distributed crawl: it
+// pins the block range (resolving head once if -to is 0), fetches only its
+// i-th contiguous slice, and with -emit-shard serializes its drained
+// aggregate into a blob store for cmd/merge to validate and fold with the
+// other shards — the merged figures are byte-identical to a single-process
+// crawl, which the CI distributed job diffs.
+//
 // Usage:
 //
 //	crawl -chain eos   -endpoint http://127.0.0.1:PORT [-checkpoint FILE] [-archive STORE]
 //	crawl -chain tezos -endpoint http://127.0.0.1:PORT [-checkpoint FILE] [-archive STORE]
 //	crawl -chain xrp   -endpoint ws://127.0.0.1:PORT   [-checkpoint FILE] [-archive STORE]
+//	crawl -chain eos   -endpoint URL -shard 2/3 -emit-shard STORE
 package main
 
 import (
@@ -41,21 +49,23 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/chain"
+	"repro/internal/cli"
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/prof"
 )
 
 type crawlOpts struct {
+	cli.ArchiveFlags
 	chain      string
 	endpoint   string
 	checkpoint string
-	archive    string
 	workers    int
 	ingest     int
 	batch      int
 	buffer     int
-	from, to   int64
+	shard      cli.ShardSpec
+	emitShard  string
 }
 
 func main() {
@@ -63,18 +73,26 @@ func main() {
 	flag.StringVar(&o.chain, "chain", "", "eos, tezos or xrp")
 	flag.StringVar(&o.endpoint, "endpoint", "", "endpoint URL")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: resume from it if present, write it on exit")
-	flag.StringVar(&o.archive, "archive", "", "archive location (path or blob-store URL: file://, mem://, s3://, null://): tee every raw block into it for offline replay (cmd/report -replay)")
+	o.ArchiveFlags.Register(flag.CommandLine, cli.ModeCrawl)
 	flag.IntVar(&o.workers, "workers", 4, "concurrent fetchers (xrp uses 1)")
 	flag.IntVar(&o.ingest, "ingest", 2, "decode/ingest workers")
 	flag.IntVar(&o.batch, "batch", 16, "blocks per aggregator lock acquisition")
 	flag.IntVar(&o.buffer, "buffer", 64, "stream buffer: max fetched-but-unprocessed blocks")
-	flag.Int64Var(&o.from, "from", 1, "first block")
-	flag.Int64Var(&o.to, "to", 0, "last block (0 = head)")
+	flag.Var(&o.shard, "shard", "crawl shard i of n ('i/n'): fetch only the i-th contiguous slice of the block range (distributed crawl; combine with -emit-shard and cmd/merge)")
+	flag.StringVar(&o.emitShard, "emit-shard", "", "after a clean crawl, serialize the drained shard state into this blob-store location for cmd/merge")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if o.chain == "" || o.endpoint == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if err := o.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(2)
+	}
+	if err := cli.ValidateStore(o.emitShard); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
 		os.Exit(2)
 	}
 
@@ -124,13 +142,32 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 		o.workers = 1 // the WebSocket protocol is sequential per connection
 	}
 
+	from, to := o.From, o.To
+	if o.shard.Enabled() {
+		// A shard crawls a fixed slice, so the range must be concrete
+		// before the cut: resolve head once here rather than letting each
+		// shard race the growing chain to its own notion of "head" —
+		// n processes started with the same -from/-to always tile the
+		// same span only if that span is pinned.
+		if to == 0 {
+			if to, err = fetcher.Head(ctx); err != nil {
+				return fmt.Errorf("resolving head for -shard %s: %w", o.shard.String(), err)
+			}
+		}
+		fullFrom, fullTo := from, to
+		if from, to, err = o.shard.Cut(from, to); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "shard:       %s of [%d, %d] -> [%d, %d]\n", o.shard.String(), fullFrom, fullTo, from, to)
+	}
+
 	cfg := collect.CrawlConfig{
-		From: o.from, To: o.to,
+		From: from, To: to,
 		Workers: o.workers, Buffer: o.buffer,
 	}
 	var sink *archive.Writer
-	if o.archive != "" {
-		sink, err = archive.NewWriter(archive.WriterConfig{Dir: o.archive, Chain: o.chain})
+	if o.Archive != "" {
+		sink, err = archive.NewWriter(archive.WriterConfig{Dir: o.Archive, Chain: o.chain})
 		if err != nil {
 			return err
 		}
@@ -179,7 +216,7 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 		fmt.Fprintf(out, "elapsed:     %v (%.0f blocks/s)\n", res.Elapsed, float64(res.Blocks)/secs)
 	}
 	if sink != nil {
-		fmt.Fprintf(out, "archive:     %s (%d blocks teed, %d segments)\n", o.archive, sink.Blocks(), sink.Segments())
+		fmt.Fprintf(out, "archive:     %s (%d blocks teed, %d segments)\n", o.Archive, sink.Blocks(), sink.Segments())
 	}
 
 	// Persist progress — but never over an ingest error (blocks the stream
@@ -208,6 +245,24 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 		}
 		fmt.Fprintln(out, "interrupted — rerun with the same -checkpoint to resume")
 		return nil
+	}
+	if err == nil && o.emitShard != "" {
+		// Serialize the drained shard state for cmd/merge. A resumed run
+		// must refuse: blocks the checkpoint skipped were never folded
+		// into THIS process's aggregate, so the emitted shard would claim
+		// a range it does not fully cover and the merged figures would be
+		// silently short.
+		if res.Skipped > 0 {
+			return fmt.Errorf("refusing to emit a shard: %d blocks arrived via the checkpoint, not this run's aggregate — rerun without -checkpoint resume to emit", res.Skipped)
+		}
+		cp := handle.Checkpoint()
+		st := kit.State()
+		st.SetCovered(core.BlockRange{From: cp.From, To: cp.To})
+		key, serr := core.EmitShard(ctx, o.emitShard, st)
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(out, "emitted:     %s @ %s\n", key, o.emitShard)
 	}
 	if err == nil {
 		// The deterministic figures section: derived only from the set of

@@ -18,6 +18,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/blobstore/s3stub"
 	"repro/internal/chain"
+	"repro/internal/cli"
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/eos"
@@ -109,8 +110,9 @@ func TestCrawlInterruptResume(t *testing.T) {
 	s := newCountingEOSServer(t, total)
 	ckpt := filepath.Join(t.TempDir(), "eos.ckpt")
 	opts := crawlOpts{
-		chain: "eos", endpoint: s.srv.URL, checkpoint: ckpt,
-		workers: 2, ingest: 2, batch: 4, buffer: 8, from: 1,
+		ArchiveFlags: cli.ArchiveFlags{From: 1},
+		chain:        "eos", endpoint: s.srv.URL, checkpoint: ckpt,
+		workers: 2, ingest: 2, batch: 4, buffer: 8,
 	}
 
 	// First run: the 15th served block triggers cancellation, as SIGINT
@@ -185,7 +187,7 @@ func TestCrawlInterruptWithoutCheckpointFails(t *testing.T) {
 	s.limit, s.interrupt = 10, cancel
 	s.mu.Unlock()
 	var out bytes.Buffer
-	err := run(ctx, crawlOpts{chain: "eos", endpoint: s.srv.URL, workers: 2, ingest: 1, batch: 4, buffer: 8, from: 1}, &out)
+	err := run(ctx, crawlOpts{ArchiveFlags: cli.ArchiveFlags{From: 1}, chain: "eos", endpoint: s.srv.URL, workers: 2, ingest: 1, batch: 4, buffer: 8}, &out)
 	if err == nil {
 		t.Fatalf("interrupted checkpoint-less run exited clean:\n%s", out.String())
 	}
@@ -201,8 +203,9 @@ func TestCrawlInterruptWithoutCheckpointFails(t *testing.T) {
 func TestCrawlFailedBeforeRangeWritesNoCheckpoint(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "eos.ckpt")
 	opts := crawlOpts{
-		chain: "eos", endpoint: "http://127.0.0.1:1", checkpoint: ckpt,
-		workers: 1, ingest: 1, batch: 4, buffer: 8, from: 1,
+		ArchiveFlags: cli.ArchiveFlags{From: 1},
+		chain:        "eos", endpoint: "http://127.0.0.1:1", checkpoint: ckpt,
+		workers: 1, ingest: 1, batch: 4, buffer: 8,
 	}
 	if err := run(context.Background(), opts, io.Discard); err == nil {
 		t.Fatal("crawl against a dead endpoint succeeded")
@@ -233,8 +236,9 @@ func TestCrawlArchiveReplayDeterminism(t *testing.T) {
 	arch := filepath.Join(t.TempDir(), "eos")
 	var out bytes.Buffer
 	err := run(context.Background(), crawlOpts{
-		chain: "eos", endpoint: s.srv.URL, archive: arch,
-		workers: 2, ingest: 2, batch: 4, buffer: 8, from: 1,
+		ArchiveFlags: cli.ArchiveFlags{Archive: arch, From: 1},
+		chain:        "eos", endpoint: s.srv.URL,
+		workers: 2, ingest: 2, batch: 4, buffer: 8,
 	}, &out)
 	if err != nil {
 		t.Fatalf("archived crawl failed: %v\n%s", err, out.String())
@@ -291,8 +295,9 @@ func TestCrawlArchiveCrossBackendDeterminism(t *testing.T) {
 		s.reset()
 		var out bytes.Buffer
 		err := run(context.Background(), crawlOpts{
-			chain: "eos", endpoint: s.srv.URL, archive: loc,
-			workers: 2, ingest: 2, batch: 4, buffer: 8, from: 1,
+			ArchiveFlags: cli.ArchiveFlags{Archive: loc, From: 1},
+			chain:        "eos", endpoint: s.srv.URL,
+			workers: 2, ingest: 2, batch: 4, buffer: 8,
 		}, &out)
 		if err != nil {
 			t.Fatalf("%s: archived crawl failed: %v\n%s", backend, err, out.String())
@@ -346,9 +351,10 @@ func TestCrawlArchiveInterruptResume(t *testing.T) {
 	dir := t.TempDir()
 	arch := filepath.Join(dir, "eos-archive")
 	opts := crawlOpts{
-		chain: "eos", endpoint: s.srv.URL,
-		checkpoint: filepath.Join(dir, "eos.ckpt"), archive: arch,
-		workers: 2, ingest: 2, batch: 4, buffer: 8, from: 1,
+		ArchiveFlags: cli.ArchiveFlags{Archive: arch, From: 1},
+		chain:        "eos", endpoint: s.srv.URL,
+		checkpoint: filepath.Join(dir, "eos.ckpt"),
+		workers:    2, ingest: 2, batch: 4, buffer: 8,
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -390,5 +396,105 @@ func TestCrawlArchiveInterruptResume(t *testing.T) {
 func TestCrawlUnknownChain(t *testing.T) {
 	if err := run(context.Background(), crawlOpts{chain: "doge", endpoint: "http://x"}, io.Discard); err == nil {
 		t.Fatal("unknown chain accepted")
+	}
+}
+
+// TestCrawlShardEmitMerge is the distributed-crawl acceptance path at unit
+// scale: three -shard i/3 runs against the same server each emit their
+// drained state to a shared mem:// store, cmd/merge's core path
+// (LoadShards + MergeShards) folds them, and the merged figures are
+// byte-identical to a single-process crawl over the whole range.
+func TestCrawlShardEmitMerge(t *testing.T) {
+	const total = 42
+	s := newCountingEOSServer(t, total)
+
+	// Baseline: one process crawls everything.
+	var single bytes.Buffer
+	err := run(context.Background(), crawlOpts{
+		ArchiveFlags: cli.ArchiveFlags{From: 1},
+		chain:        "eos", endpoint: s.srv.URL,
+		workers: 2, ingest: 2, batch: 4, buffer: 8,
+	}, &single)
+	if err != nil {
+		t.Fatalf("single crawl: %v\n%s", err, single.String())
+	}
+	idx := strings.Index(single.String(), "--- eos figures ---")
+	if idx < 0 {
+		t.Fatalf("single crawl printed no figures:\n%s", single.String())
+	}
+	want := single.String()[idx:]
+
+	// Three shards, each a separate run; -to stays 0 so every shard
+	// resolves head itself (the chain is no longer growing).
+	const store = "mem://crawl-shard-emit"
+	for i := 1; i <= 3; i++ {
+		var shard cli.ShardSpec
+		if err := shard.Set(fmt.Sprintf("%d/3", i)); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err := run(context.Background(), crawlOpts{
+			ArchiveFlags: cli.ArchiveFlags{From: 1},
+			chain:        "eos", endpoint: s.srv.URL,
+			workers: 2, ingest: 2, batch: 4, buffer: 8,
+			shard: shard, emitShard: store,
+		}, &out)
+		if err != nil {
+			t.Fatalf("shard %d/3: %v\n%s", i, err, out.String())
+		}
+		if !strings.Contains(out.String(), "emitted:") {
+			t.Fatalf("shard %d/3 emitted nothing:\n%s", i, out.String())
+		}
+	}
+
+	shards, err := core.LoadShards(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("loaded %d shards, want 3", len(shards))
+	}
+	merged, err := core.MergeShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Summary().Render(); got != want {
+		t.Fatalf("3-way sharded crawl diverged from single process\n--- single ---\n%s\n--- merged ---\n%s", want, got)
+	}
+	if got, wantCov := merged.Covered(), (core.BlockRange{From: 1, To: total}); got != wantCov {
+		t.Fatalf("merged covered %s, want %s", got, wantCov)
+	}
+}
+
+// TestCrawlEmitShardRefusesResume: a run that skipped blocks via a
+// checkpoint did not fold them into its own aggregate, so emitting a shard
+// claiming the whole range must refuse.
+func TestCrawlEmitShardRefusesResume(t *testing.T) {
+	const total = 30
+	s := newCountingEOSServer(t, total)
+	ckpt := filepath.Join(t.TempDir(), "eos.ckpt")
+	opts := crawlOpts{
+		ArchiveFlags: cli.ArchiveFlags{From: 1},
+		chain:        "eos", endpoint: s.srv.URL, checkpoint: ckpt,
+		workers: 2, ingest: 2, batch: 4, buffer: 8,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.mu.Lock()
+	s.limit, s.interrupt = 10, cancel
+	s.mu.Unlock()
+	if err := run(ctx, opts, io.Discard); err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+
+	s.reset()
+	opts.emitShard = "mem://crawl-emit-resume"
+	var out bytes.Buffer
+	err := run(context.Background(), opts, &out)
+	if err == nil || !strings.Contains(err.Error(), "refusing to emit") {
+		t.Fatalf("resumed run emitted a shard (err %v):\n%s", err, out.String())
+	}
+	if _, lerr := core.LoadShards(context.Background(), opts.emitShard); lerr == nil {
+		t.Fatal("a shard blob landed in the store despite the refusal")
 	}
 }

@@ -1,0 +1,82 @@
+// Command merge is the distributed-crawl coordinator: it loads the shard
+// blobs that cmd/crawl -emit-shard (or cmd/report -replay -emit-shard)
+// workers serialized into blob stores, validates that each chain's shards
+// are compatible and tile a contiguous block range, folds them through the
+// same core.ShardState merge a single process uses, and prints each
+// chain's deterministic figures section to stdout — byte-identical to
+// what one process crawling the whole range would have printed, which the
+// CI distributed job diffs.
+//
+// Validation is loud by design: mixed chains in one merge group, mismatched
+// aggregation windows, overlapping shard ranges (blocks counted twice) and
+// gaps (blocks never crawled) are all hard errors naming the offending
+// shards, never silently "merged around".
+//
+// Usage:
+//
+//	merge STORE [STORE...]
+//
+// Each STORE is a blob-store location (path, file://, mem://, s3://)
+// holding *.shard blobs. Shards from all stores are pooled and grouped by
+// chain; figures print in chain-name order. Progress and per-shard
+// diagnostics go to stderr so stdout stays diffable.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: merge STORE [STORE...]\n\nmerge distributed crawl shards (cmd/crawl -emit-shard) and print figures\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(context.Background(), flag.Args(), os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "merge:", err)
+		os.Exit(1)
+	}
+}
+
+// run loads every shard at the given store locations, merges per chain and
+// renders the figures. It is the whole command behind flag parsing so
+// tests can drive it hermetically.
+func run(ctx context.Context, locations []string, out, diag io.Writer) error {
+	byChain := make(map[string][]core.ShardState)
+	for _, loc := range locations {
+		shards, err := core.LoadShards(ctx, loc)
+		if err != nil {
+			return err
+		}
+		for _, st := range shards {
+			fmt.Fprintf(diag, "merge: loaded %s shard %s (window %s) from %s\n",
+				st.Chain(), st.Covered(), st.Window(), loc)
+			byChain[st.Chain()] = append(byChain[st.Chain()], st)
+		}
+	}
+	chains := make([]string, 0, len(byChain))
+	for c := range byChain {
+		chains = append(chains, c)
+	}
+	sort.Strings(chains)
+	for _, c := range chains {
+		merged, err := core.MergeShards(byChain[c])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(diag, "merge: %s: %d shard(s) covering %s\n", c, len(byChain[c]), merged.Covered())
+		fmt.Fprint(out, merged.Summary().Render())
+	}
+	return nil
+}

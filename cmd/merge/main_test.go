@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/rpcserve"
+)
+
+// emitTezosShard builds a Tezos shard over blocks [from, to] with one
+// deterministic endorsement per block and emits it to location.
+func emitTezosShard(t *testing.T, location string, from, to int64) {
+	t.Helper()
+	st, err := core.NewShardState("tezos", chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]any, 0, to-from+1)
+	for num := from; num <= to; num++ {
+		batch = append(batch, &rpcserve.TezosBlockJSON{
+			Level:     num,
+			Timestamp: chain.ObservationStart.Add(time.Duration(num) * time.Hour).Format(time.RFC3339),
+			Baker:     "tz1baker",
+			Operations: []rpcserve.TezosOperationJSON{
+				{Kind: "endorsement", Source: "tz1alice", Level: num - 1, SlotCount: 2},
+			},
+		})
+	}
+	if err := st.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	st.SetCovered(core.BlockRange{From: from, To: to})
+	if _, err := core.EmitShard(context.Background(), location, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeRendersWholeRange: shards pooled from several stores merge into
+// the same figures a single state over the whole range renders.
+func TestMergeRendersWholeRange(t *testing.T) {
+	emitTezosShard(t, "mem://merge-a", 1, 7)
+	emitTezosShard(t, "mem://merge-b", 8, 20)
+	emitTezosShard(t, "mem://merge-b", 21, 24)
+
+	whole, err := core.NewShardState("tezos", chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]any, 0, 24)
+	for num := int64(1); num <= 24; num++ {
+		batch = append(batch, &rpcserve.TezosBlockJSON{
+			Level:     num,
+			Timestamp: chain.ObservationStart.Add(time.Duration(num) * time.Hour).Format(time.RFC3339),
+			Baker:     "tz1baker",
+			Operations: []rpcserve.TezosOperationJSON{
+				{Kind: "endorsement", Source: "tz1alice", Level: num - 1, SlotCount: 2},
+			},
+		})
+	}
+	if err := whole.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	want := whole.Summary().Render()
+
+	var out, diag bytes.Buffer
+	if err := run(context.Background(), []string{"mem://merge-a", "mem://merge-b"}, &out, &diag); err != nil {
+		t.Fatalf("merge: %v\n%s", err, diag.String())
+	}
+	if out.String() != want {
+		t.Fatalf("merged figures diverged\n--- want ---\n%s\n--- got ---\n%s", want, out.String())
+	}
+	if !strings.Contains(diag.String(), "3 shard(s)") {
+		t.Fatalf("diagnostics missing shard count:\n%s", diag.String())
+	}
+}
+
+// TestMergeRefusesOverlap: two stores whose shards overlap must fail
+// loudly, naming the ranges.
+func TestMergeRefusesOverlap(t *testing.T) {
+	emitTezosShard(t, "mem://merge-ov-a", 1, 10)
+	emitTezosShard(t, "mem://merge-ov-b", 8, 20)
+	err := run(context.Background(), []string{"mem://merge-ov-a", "mem://merge-ov-b"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlapping shards merged (err %v)", err)
+	}
+}
+
+// TestMergeRefusesGap: a missing slice (a shard worker that never finished)
+// must fail loudly, not render short figures.
+func TestMergeRefusesGap(t *testing.T) {
+	emitTezosShard(t, "mem://merge-gap", 1, 10)
+	emitTezosShard(t, "mem://merge-gap", 15, 20)
+	err := run(context.Background(), []string{"mem://merge-gap"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gapped shards merged (err %v)", err)
+	}
+}
+
+// TestMergeEmptyStore: a location with no shard blobs is a loud error —
+// a coordinator pointed at the wrong store must not print empty figures.
+func TestMergeEmptyStore(t *testing.T) {
+	err := run(context.Background(), []string{"mem://merge-empty"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "no *.shard blobs") {
+		t.Fatalf("empty store merged (err %v)", err)
+	}
+}
+
+// TestMergeMultiChain: shards of different chains pooled in one store are
+// grouped and rendered per chain in name order.
+func TestMergeMultiChain(t *testing.T) {
+	const store = "mem://merge-multichain"
+	emitTezosShard(t, store, 1, 8)
+
+	xst, err := core.NewShardState("xrp", chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xst.IngestBatch([]any{&rpcserve.XRPLedgerJSON{
+		LedgerIndex: 1,
+		CloseTime:   chain.ObservationStart.Format(time.RFC3339),
+		TxCount:     1,
+		Transactions: []rpcserve.XRPTxJSON{{
+			Hash: "TX1", TransactionType: "Payment", Account: "rAlice",
+			Destination: "rBob", Result: "tesSUCCESS", Sequence: 1,
+			Amount: &rpcserve.XRPAmountJSON{Currency: "XRP", Value: 1000},
+		}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	xst.SetCovered(core.BlockRange{From: 1, To: 1})
+	if _, err := core.EmitShard(context.Background(), store, xst); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{store}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	tezosIdx := strings.Index(out.String(), "--- tezos figures ---")
+	xrpIdx := strings.Index(out.String(), "--- xrp figures ---")
+	if tezosIdx < 0 || xrpIdx < 0 || tezosIdx > xrpIdx {
+		t.Fatalf("expected tezos then xrp figure sections:\n%s", out.String())
+	}
+}

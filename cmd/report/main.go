@@ -7,6 +7,7 @@
 //	report [-eos-scale N] [-tezos-scale N] [-xrp-scale N] [-gov-scale N]
 //	       [-seed N] [-workers N] [-figure name] [-archive STORE]
 //	report -replay STORE [-parallel N] [-from N -to N]
+//	report -replay STORE -shard i/n [-emit-shard STORE2]
 //
 // Smaller scales simulate more traffic and converge closer to the paper's
 // percentages; the defaults finish in a few seconds.
@@ -38,6 +39,11 @@
 // band must collapse to a point ("band: point" on the last line of each
 // band section), which the CI archive job asserts; a spread band flags an
 // aggregate that depends on ingestion order, scheduling or worker count.
+//
+// With -replay -shard i/n only the i-th of n contiguous slices of each
+// archive replays, and -emit-shard STORE2 serializes the drained shard
+// state for cmd/merge — the offline counterpart of cmd/crawl's
+// distributed-crawl flags.
 package main
 
 import (
@@ -53,6 +59,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/chain"
+	"repro/internal/cli"
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/pipeline"
@@ -71,11 +78,12 @@ func main() {
 	figure := flag.String("figure", "all", "figure to print: all, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, tps, cases, endpoints, stages")
 	stress := flag.Bool("stress", false, "add the eidos-stress stage: the EOS workload at a hotter arrival rate, reported in the stage timings")
 	stressScale := flag.Int64("stress-scale", 0, "eidos-stress scale divisor (0 = quarter of the EOS default)")
-	flag.StringVar(&opts.ArchiveDir, "archive", "", "archive location (path or blob-store URL: file://, mem://, s3://, null://): stages tee raw blocks into it, and replay from it when it already covers their ranges")
-	replay := flag.String("replay", "", "replay archives at this location (path or blob-store URL) offline (no pipeline, no network) and print their figures")
+	var af cli.ArchiveFlags
+	af.Register(flag.CommandLine, cli.ModeReport)
 	parallel := flag.Int("parallel", 0, "with -replay: N concurrent sweep runs over the same archives (zero refetch, varying worker counts) with per-chain convergence bands appended")
-	replayFrom := flag.Int64("from", 0, "with -replay: lowest block to replay; with -to, only segments covering [from, to] are fetched")
-	replayTo := flag.Int64("to", 0, "with -replay: highest block to replay")
+	var shard cli.ShardSpec
+	flag.Var(&shard, "shard", "with -replay: replay only the i-th of n contiguous slices of each archive ('i/n'); combine with -emit-shard and cmd/merge")
+	emitShard := flag.String("emit-shard", "", "with -replay: serialize each replayed chain's drained shard state into this blob-store location for cmd/merge")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -109,14 +117,18 @@ func main() {
 			parallelSet = true
 		}
 	})
-	if err := validateParallel(*parallel, parallelSet, *replay != ""); err != nil {
+	if err := validateParallel(*parallel, parallelSet, af.Replaying()); err != nil {
 		finish(2, err)
 	}
-	if err := validateRange(*replayFrom, *replayTo, *replay != ""); err != nil {
+	if err := af.Validate(); err != nil {
 		finish(2, err)
 	}
-	if *replay != "" {
-		if err := replayArchives(context.Background(), *replay, opts.Workers, *parallel, *replayFrom, *replayTo, os.Stdout); err != nil {
+	if err := validateShard(shard, *emitShard, *parallel, af.Replaying()); err != nil {
+		finish(2, err)
+	}
+	opts.ArchiveDir = af.Archive
+	if af.Replaying() {
+		if err := replayArchives(context.Background(), af.Replay, opts.Workers, *parallel, af.From, af.To, shard, *emitShard, os.Stdout); err != nil {
 			finish(1, err)
 		}
 		finish(0, nil)
@@ -190,20 +202,20 @@ func validateParallel(n int, set, replaying bool) error {
 	return nil
 }
 
-// validateRange rejects half-open or inverted -from/-to ranges before any
-// store round-trip: a silently ignored bound would replay the wrong slice
-// and read as "my range converged".
-func validateRange(from, to int64, replaying bool) error {
-	if from == 0 && to == 0 {
+// validateShard rejects -shard/-emit-shard combinations before any store
+// round-trip: both only make sense over -replay, and a shard inside a
+// -parallel sweep would emit ambiguous state (which sweep run's?).
+func validateShard(shard cli.ShardSpec, emit string, parallel int, replaying bool) error {
+	if !shard.Enabled() && emit == "" {
 		return nil
 	}
 	if !replaying {
-		return fmt.Errorf("-from/-to need -replay: they slice an archived crawl, not a live one")
+		return fmt.Errorf("-shard/-emit-shard need -replay: they slice and serialize an archived crawl")
 	}
-	if from <= 0 || to < from {
-		return fmt.Errorf("-from %d -to %d is not a block range: pass 1 <= from <= to (both flags together)", from, to)
+	if shard.Enabled() && parallel > 0 {
+		return fmt.Errorf("-shard with -parallel: a sweep replays everything and a shard replays a slice — pass one or the other")
 	}
-	return nil
+	return cli.ValidateStore(emit)
 }
 
 // replayArchives regenerates figures offline from archived raw blocks. dir
@@ -225,7 +237,12 @@ func validateRange(from, to int64, replaying bool) error {
 // runs) is appended after all figure sections. A deterministic decoder
 // must collapse every band to a point: the sweep is the self-test that no
 // figure depends on scheduling, sharding or worker count.
-func replayArchives(ctx context.Context, dir string, workers, sweeps int, from, to int64, out io.Writer) error {
+// With shard set (i/n) each archive replays only the i-th contiguous slice
+// of its covered range, and with emit non-empty the drained shard state of
+// every replayed chain is serialized into that blob store for cmd/merge —
+// the offline counterpart of cmd/crawl -shard/-emit-shard, useful to
+// re-partition one big archived crawl across merge workers.
+func replayArchives(ctx context.Context, dir string, workers, sweeps int, from, to int64, shard cli.ShardSpec, emit string, out io.Writer) error {
 	dirs, err := archive.Discover(dir)
 	if err != nil {
 		return err
@@ -263,6 +280,12 @@ func replayArchives(ctx context.Context, dir string, workers, sweeps int, from, 
 			return fmt.Errorf("archive %s is incomplete: %d blocks in [%d, %d] — resume the crawl that wrote it (same -archive and -checkpoint flags)",
 				adir, rd.Blocks(), rd.From(), rd.To())
 		}
+		if shard.Enabled() || emit != "" {
+			if err := replayShard(ctx, rd, adir, workers, shard, emit, out); err != nil {
+				return err
+			}
+			continue
+		}
 		runs := sweeps
 		if runs <= 0 {
 			runs = 1
@@ -286,6 +309,44 @@ func replayArchives(ctx context.Context, dir string, workers, sweeps int, from, 
 	// cut the stream at the first "=== " line.
 	for _, b := range bands {
 		fmt.Fprint(out, b.Render())
+	}
+	return nil
+}
+
+// replayShard is the distributed leg of a replay: cut this shard's slice
+// out of the archive's covered range, replay only it (the segment-range
+// index prunes everything else), print its figures, and optionally emit
+// the drained state for cmd/merge. The covered range recorded on the
+// emitted shard is the reader's actual range, so a complete set of i/n
+// replays tiles the archive exactly and passes merge validation.
+func replayShard(ctx context.Context, rd *archive.Reader, adir string, workers int, shard cli.ShardSpec, emit string, out io.Writer) error {
+	if shard.Enabled() {
+		lo, hi, err := shard.Cut(rd.From(), rd.To())
+		if err != nil {
+			return fmt.Errorf("archive %s: %w", adir, err)
+		}
+		if rd, err = archive.OpenRange(adir, lo, hi); err != nil {
+			return err
+		}
+	}
+	kit, err := core.NewStatsKit(rd.Chain(), chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		return fmt.Errorf("archive %s: %w", adir, err)
+	}
+	if _, err := core.IngestArchive(ctx, rd, kit.Decoder, core.IngestConfig{Workers: workers}); err != nil {
+		return fmt.Errorf("replaying %s: %w", adir, err)
+	}
+	fmt.Fprintf(os.Stderr, "replay %s: %d blocks from %s ([%d, %d])\n",
+		rd.Chain(), rd.Blocks(), adir, rd.From(), rd.To())
+	fmt.Fprint(out, kit.Summarize().Render())
+	if emit != "" {
+		st := kit.State()
+		st.SetCovered(core.BlockRange{From: rd.From(), To: rd.To()})
+		key, err := core.EmitShard(ctx, emit, st)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "replay %s: emitted shard %s @ %s\n", rd.Chain(), key, emit)
 	}
 	return nil
 }

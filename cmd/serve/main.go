@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/blobstore"
+	"repro/internal/cli"
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/pipeline"
@@ -48,12 +49,11 @@ import (
 )
 
 type serveOpts struct {
-	addr        string
-	eos         string
-	tezos       string
-	xrp         string
-	replay      string
-	archiveDir  string
+	addr  string
+	eos   string
+	tezos string
+	xrp   string
+	cli.ArchiveFlags
 	runPipeline bool
 	epoch       time.Duration
 	mergeEvery  int
@@ -61,7 +61,6 @@ type serveOpts struct {
 	ingest      int
 	batch       int
 	buffer      int
-	from, to    int64
 
 	// ready, when set, is called with the base URL once the listener is
 	// accepting — the hook tests use to query mid-ingest.
@@ -74,8 +73,7 @@ func main() {
 	flag.StringVar(&o.eos, "eos", "", "EOS endpoint URL to crawl live")
 	flag.StringVar(&o.tezos, "tezos", "", "Tezos endpoint URL to crawl live")
 	flag.StringVar(&o.xrp, "xrp", "", "XRP WebSocket endpoint URL to crawl live")
-	flag.StringVar(&o.replay, "replay", "", "serve from archives at this location (path or blob-store URL: file://, mem://, s3://) offline, no network")
-	flag.StringVar(&o.archiveDir, "archive", "", "with live endpoints: tee every raw block into per-chain archives at this location (path or blob-store URL)")
+	o.ArchiveFlags.Register(flag.CommandLine, cli.ModeServe)
 	flag.BoolVar(&o.runPipeline, "pipeline", false, "serve the full reproduction pipeline's stages as they crawl")
 	flag.DurationVar(&o.epoch, "epoch", 200*time.Millisecond, "snapshot publish interval")
 	flag.IntVar(&o.mergeEvery, "merge-every", 0, "ingest batches between shard merges (0 = default)")
@@ -83,9 +81,11 @@ func main() {
 	flag.IntVar(&o.ingest, "ingest", 2, "decode/ingest workers per feed")
 	flag.IntVar(&o.batch, "batch", 16, "blocks per ingest batch")
 	flag.IntVar(&o.buffer, "buffer", 64, "stream buffer per live feed")
-	flag.Int64Var(&o.from, "from", 1, "first block (live feeds)")
-	flag.Int64Var(&o.to, "to", 0, "last block (live feeds; 0 = head)")
 	flag.Parse()
+	if err := o.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -179,7 +179,7 @@ func run(ctx context.Context, o serveOpts, rawOut io.Writer) error {
 // their joined errors. Exactly one feed mode applies per invocation.
 func runFeeds(ctx context.Context, pub *serve.Publisher, o serveOpts, out io.Writer) error {
 	switch {
-	case o.replay != "":
+	case o.Replaying():
 		return replayFeeds(ctx, pub, o, out)
 	case o.runPipeline:
 		popts := pipeline.DefaultOptions()
@@ -187,8 +187,8 @@ func runFeeds(ctx context.Context, pub *serve.Publisher, o serveOpts, out io.Wri
 		popts.Buffer = o.buffer
 		popts.Batch = o.batch
 		popts.Serve = pub
-		if o.archiveDir != "" {
-			popts.ArchiveDir = o.archiveDir
+		if o.Archive != "" {
+			popts.ArchiveDir = o.Archive
 		}
 		_, err := pipeline.Run(ctx, popts)
 		return err
@@ -216,10 +216,10 @@ func runFeeds(ctx context.Context, pub *serve.Publisher, o serveOpts, out io.Wri
 	}
 }
 
-// replayFeeds serves archived crawls: every archive under o.replay replays
+// replayFeeds serves archived crawls: every archive under o.Replay replays
 // segment-parallel into its own registered feed, all concurrently.
 func replayFeeds(ctx context.Context, pub *serve.Publisher, o serveOpts, out io.Writer) error {
-	dirs, err := archive.Discover(o.replay)
+	dirs, err := archive.Discover(o.Replay)
 	if err != nil {
 		return err
 	}
@@ -270,15 +270,15 @@ func liveFeed(ctx context.Context, pub *serve.Publisher, o serveOpts, chainName,
 	}
 
 	ccfg := collect.CrawlConfig{
-		From: o.from, To: o.to,
+		From: o.From, To: o.To,
 		Workers: workers, Buffer: o.buffer,
 		MaxRetries: 8, Backoff: 5 * time.Millisecond,
 	}
 	var sink *archive.Writer
-	if o.archiveDir != "" {
+	if o.Archive != "" {
 		var err error
 		sink, err = archive.NewWriter(archive.WriterConfig{
-			Dir: blobstore.Join(o.archiveDir, chainName), Chain: chainName,
+			Dir: blobstore.Join(o.Archive, chainName), Chain: chainName,
 		})
 		if err != nil {
 			return err

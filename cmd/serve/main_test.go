@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/chain"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/eos"
 	"repro/internal/rpcserve"
@@ -113,11 +114,10 @@ func TestServeEndToEnd(t *testing.T) {
 	// --- live serve, teeing the archive ---
 	var liveOut bytes.Buffer
 	o := serveOpts{
-		eos:        sim.URL,
-		archiveDir: archiveDir,
-		epoch:      20 * time.Millisecond,
-		workers:    4, ingest: 2, batch: 8, buffer: 32,
-		from: 1,
+		ArchiveFlags: cli.ArchiveFlags{Archive: archiveDir, From: 1},
+		eos:          sim.URL,
+		epoch:        20 * time.Millisecond,
+		workers:      4, ingest: 2, batch: 8, buffer: 32,
 	}
 	baseURL, cancel, errc := startServe(t, o, &liveOut)
 
@@ -191,9 +191,9 @@ func TestServeEndToEnd(t *testing.T) {
 	// --- replay serve over the teed archive ---
 	var replayOut bytes.Buffer
 	o2 := serveOpts{
-		replay: archiveDir,
-		epoch:  20 * time.Millisecond,
-		ingest: 2, batch: 8,
+		ArchiveFlags: cli.ArchiveFlags{Replay: archiveDir},
+		epoch:        20 * time.Millisecond,
+		ingest:       2, batch: 8,
 	}
 	baseURL2, cancel2, errc2 := startServe(t, o2, &replayOut)
 	waitDrained(t, baseURL2)
@@ -213,10 +213,10 @@ func TestServeInterruptMidIngest(t *testing.T) {
 	sim := newEOSSim(t, 200)
 	var out bytes.Buffer
 	o := serveOpts{
-		eos:     sim.URL,
-		epoch:   10 * time.Millisecond,
-		workers: 1, ingest: 1, batch: 1, buffer: 1,
-		from: 1,
+		ArchiveFlags: cli.ArchiveFlags{From: 1},
+		eos:          sim.URL,
+		epoch:        10 * time.Millisecond,
+		workers:      1, ingest: 1, batch: 1, buffer: 1,
 	}
 	_, cancel, errc := startServe(t, o, &out)
 	cancel() // interrupt immediately — likely mid-crawl

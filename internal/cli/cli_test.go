@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, mode Mode, args ...string) (*ArchiveFlags, error) {
+	t.Helper()
+	var a ArchiveFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	a.Register(fs, mode)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &a, a.Validate()
+}
+
+func TestArchiveFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mode    Mode
+		args    []string
+		wantErr string
+	}{
+		{"crawl defaults", ModeCrawl, nil, ""},
+		{"crawl archive url", ModeCrawl, []string{"-archive", "mem://x"}, ""},
+		{"crawl bad scheme", ModeCrawl, []string{"-archive", "ftp://x"}, "unsupported scheme"},
+		{"crawl from zero", ModeCrawl, []string{"-from", "0"}, "pass from >= 1"},
+		{"crawl inverted", ModeCrawl, []string{"-from", "10", "-to", "5"}, "not a block range"},
+		{"crawl to head", ModeCrawl, []string{"-from", "10"}, ""},
+		{"report defaults", ModeReport, nil, ""},
+		{"report range needs replay", ModeReport, []string{"-from", "1", "-to", "5"}, "need -replay"},
+		{"report half range", ModeReport, []string{"-replay", "mem://x", "-from", "3"}, "not a block range"},
+		{"report inverted", ModeReport, []string{"-replay", "mem://x", "-from", "9", "-to", "2"}, "not a block range"},
+		{"report full range", ModeReport, []string{"-replay", "mem://x", "-from", "2", "-to", "9"}, ""},
+		{"report bad replay url", ModeReport, []string{"-replay", "gopher://x"}, "unsupported scheme"},
+		{"serve defaults", ModeServe, nil, ""},
+		{"serve inverted", ModeServe, []string{"-from", "7", "-to", "3"}, "not a block range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parse(t, tc.mode, tc.args...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestShardSpecSet(t *testing.T) {
+	bad := []string{"", "3", "0/3", "4/3", "-1/2", "a/b", "1/0", "2/"}
+	for _, v := range bad {
+		var s ShardSpec
+		if err := s.Set(v); err == nil {
+			t.Errorf("Set(%q) accepted", v)
+		}
+	}
+	var s ShardSpec
+	if err := s.Set("2/3"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Enabled() || s.I != 2 || s.N != 3 || s.String() != "2/3" {
+		t.Fatalf("parsed %+v, String %q", s, s.String())
+	}
+	if (&ShardSpec{}).Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+}
+
+// TestShardSpecCutTiles is the property cmd/merge's gap/overlap validation
+// leans on: for any range and shard count, the N cuts tile [from, to]
+// exactly — contiguous, disjoint, and complete.
+func TestShardSpecCutTiles(t *testing.T) {
+	ranges := []struct{ from, to int64 }{
+		{1, 1}, {1, 2}, {1, 100}, {5, 17}, {1000, 1006}, {42, 42 + 999},
+	}
+	for _, r := range ranges {
+		span := r.to - r.from + 1
+		for n := 1; int64(n) <= span && n <= 8; n++ {
+			next := r.from
+			for i := 1; i <= n; i++ {
+				s := ShardSpec{I: i, N: n}
+				lo, hi, err := s.Cut(r.from, r.to)
+				if err != nil {
+					t.Fatalf("Cut(%d/%d, [%d,%d]): %v", i, n, r.from, r.to, err)
+				}
+				if lo != next {
+					t.Fatalf("Cut(%d/%d, [%d,%d]) starts at %d, want %d (gap or overlap)", i, n, r.from, r.to, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("Cut(%d/%d, [%d,%d]) is empty: [%d,%d]", i, n, r.from, r.to, lo, hi)
+				}
+				next = hi + 1
+			}
+			if next != r.to+1 {
+				t.Fatalf("%d-way cut of [%d,%d] ends at %d, want %d", n, r.from, r.to, next-1, r.to)
+			}
+		}
+	}
+}
+
+func TestShardSpecCutErrors(t *testing.T) {
+	s := ShardSpec{I: 1, N: 4}
+	if _, _, err := s.Cut(1, 3); err == nil {
+		t.Fatal("cutting 3 blocks into 4 shards succeeded")
+	}
+	if _, _, err := s.Cut(10, 5); err == nil {
+		t.Fatal("cutting an inverted range succeeded")
+	}
+	if _, _, err := s.Cut(0, 5); err == nil {
+		t.Fatal("cutting from block 0 succeeded")
+	}
+}

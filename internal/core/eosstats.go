@@ -8,6 +8,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -94,6 +95,12 @@ type EOSShard struct {
 
 	FirstBlockTime, LastBlockTime time.Time
 
+	// covered is the block range this shard aggregated, when known: set by
+	// SetCovered before a distributed crawl emits the shard and validated
+	// against overlap on Merge. In-process ingest shards leave it zero
+	// (unknown) and merge without range bookkeeping.
+	covered BlockRange
+
 	// legScratch is reused for per-transaction transfer legs, keeping the
 	// boomerang check allocation-free per transaction.
 	legScratch []transferLeg
@@ -119,27 +126,35 @@ type DEXTrade struct {
 // NewEOSAggregator builds an aggregator with the default labeling used
 // throughout the repo (matching the simulated workload's contracts).
 func NewEOSAggregator(origin time.Time, bucket time.Duration) *EOSAggregator {
-	a := &EOSAggregator{EOSShard: EOSShard{
-		TokenContracts: map[string]bool{
-			"eosio.token": true, "eidosonecoin": true, "lynxtoken123": true,
-		},
-		ContractLabels: map[string]string{
-			"eosio.token":  "Tokens",
-			"eidosonecoin": "Tokens",
-			"lynxtoken123": "Tokens",
-			"betdicetasks": "Betting", "betdicegroup": "Betting",
-			"betdiceadmin": "Betting", "betdicebacca": "Betting",
-			"betdicesicbo": "Betting", "bluebetproxy": "Betting",
-			"bluebettexas": "Betting", "bluebetjacks": "Betting",
-			"bluebetbcrat": "Betting",
-			"whaleextrust": "Exchange",
-			"pornhashbaby": "Pornography",
-			"eossanguoone": "Games",
-		},
-		EIDOSContract: "eidosonecoin",
-	}}
+	a := &EOSAggregator{}
+	a.EOSShard.applyDefaultTables()
 	a.EOSShard.init(origin, bucket)
 	return a
+}
+
+// applyDefaultTables installs the repo's default classification tables —
+// the paper labeled the top 100 contracts manually; these match the
+// simulated workload's contracts. The tables are configuration, shared
+// read-only by every shard spawned from one aggregator, and never part of
+// serialized shard state: a decoded shard gets the decoder's own tables.
+func (s *EOSShard) applyDefaultTables() {
+	s.TokenContracts = map[string]bool{
+		"eosio.token": true, "eidosonecoin": true, "lynxtoken123": true,
+	}
+	s.ContractLabels = map[string]string{
+		"eosio.token":  "Tokens",
+		"eidosonecoin": "Tokens",
+		"lynxtoken123": "Tokens",
+		"betdicetasks": "Betting", "betdicegroup": "Betting",
+		"betdiceadmin": "Betting", "betdicebacca": "Betting",
+		"betdicesicbo": "Betting", "bluebetproxy": "Betting",
+		"bluebettexas": "Betting", "bluebetjacks": "Betting",
+		"bluebetbcrat": "Betting",
+		"whaleextrust": "Exchange",
+		"pornhashbaby": "Pornography",
+		"eossanguoone": "Games",
+	}
+	s.EIDOSContract = "eidosonecoin"
 }
 
 // init allocates a shard's mutable containers, leaving the shared
@@ -172,8 +187,20 @@ func (a *EOSAggregator) NewShard() *EOSShard {
 // bucket or an unordered record set.
 func (a *EOSAggregator) MergeShard(s *EOSShard) {
 	a.mu.Lock()
-	a.EOSShard.Merge(s)
+	a.EOSShard.merge(s)
 	a.mu.Unlock()
+}
+
+// NewState spawns a private shard behind the chain-agnostic ShardState
+// contract — what the ingest pool's generic shard sink consumes.
+func (a *EOSAggregator) NewState() ShardState { return a.NewShard() }
+
+// MergeState folds a ShardState produced by NewState (or decoded from a
+// shard blob with the same window) into the aggregator under its lock.
+func (a *EOSAggregator) MergeState(st ShardState) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.EOSShard.Merge(st)
 }
 
 // mergeCounts adds src's counters into dst.
@@ -207,10 +234,36 @@ func mergeWindow(first, last *time.Time, f, l time.Time) {
 	}
 }
 
-// Merge folds src into s. src must cover blocks disjoint from s's (each
+// Chain names the shard's chain for the ShardState contract.
+func (s *EOSShard) Chain() string { return "eos" }
+
+// Window returns the shard's time-series geometry.
+func (s *EOSShard) Window() Window {
+	return Window{Origin: s.Series.Origin(), Bucket: s.Series.Width()}
+}
+
+// Covered returns the block range this shard aggregated, when known.
+func (s *EOSShard) Covered() BlockRange { return s.covered }
+
+// SetCovered records the block range the shard aggregated.
+func (s *EOSShard) SetCovered(r BlockRange) { s.covered = r }
+
+// Merge implements ShardState: it validates chain, window and covered-range
+// compatibility, then folds src into s and resets it.
+func (s *EOSShard) Merge(src ShardState) error {
+	typed, cov, err := mergeAsShard[*EOSShard](s, src)
+	if err != nil {
+		return err
+	}
+	s.merge(typed)
+	s.covered = cov
+	return nil
+}
+
+// merge folds src into s. src must cover blocks disjoint from s's (each
 // block ingested into exactly one shard); afterwards src is reset so a
 // stale alias cannot double-merge it.
-func (s *EOSShard) Merge(src *EOSShard) {
+func (s *EOSShard) merge(src *EOSShard) {
 	s.Blocks += src.Blocks
 	s.Transactions += src.Transactions
 	s.Actions += src.Actions
@@ -268,20 +321,52 @@ func (a *EOSAggregator) IngestBlocks(bs []*rpcserve.EOSBlockJSON) error {
 	return nil
 }
 
-// IngestBlocks folds a batch into a privately-owned shard — no locking; the
-// shard's owner is the only writer. A malformed block fails the whole batch
-// without ingesting any of it.
-func (s *EOSShard) IngestBlocks(bs []*rpcserve.EOSBlockJSON) error {
-	times := make([]time.Time, len(bs))
-	for i, b := range bs {
+// eosBatch asserts and pre-parses an ingest-pool batch: every element must
+// be the EOS Decode output type, and timestamps parse before any state is
+// touched, so a malformed block fails the whole batch without ingesting
+// any of it.
+func eosBatch(batch []any) ([]*rpcserve.EOSBlockJSON, []time.Time, error) {
+	blocks := make([]*rpcserve.EOSBlockJSON, len(batch))
+	times := make([]time.Time, len(batch))
+	for i, v := range batch {
+		b, ok := v.(*rpcserve.EOSBlockJSON)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: eos batch element %d is %T, not *rpcserve.EOSBlockJSON", i, v)
+		}
 		ts, err := eosBlockTime(b.Timestamp)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		times[i] = ts
+		blocks[i], times[i] = b, ts
 	}
-	for i, b := range bs {
+	return blocks, times, nil
+}
+
+// IngestBatch folds a batch of decoded blocks into a privately-owned shard
+// — no locking; the shard's owner is the only writer.
+func (s *EOSShard) IngestBatch(batch []any) error {
+	blocks, times, err := eosBatch(batch)
+	if err != nil {
+		return err
+	}
+	for i, b := range blocks {
 		s.ingest(b, times[i])
+	}
+	return nil
+}
+
+// IngestBatch folds a batch of decoded blocks into the aggregator, one
+// lock acquisition for the whole batch. Assertion and timestamp parsing
+// happen before the lock is taken.
+func (a *EOSAggregator) IngestBatch(batch []any) error {
+	blocks, times, err := eosBatch(batch)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, b := range blocks {
+		a.EOSShard.ingest(b, times[i])
 	}
 	return nil
 }

@@ -101,13 +101,7 @@ func (d EOSDecoder) Decode(num int64, raw []byte) (any, error) {
 
 // IngestBatch folds decoded blocks into the aggregator, one lock for the
 // whole batch.
-func (d EOSDecoder) IngestBatch(batch []any) error {
-	blocks := make([]*rpcserve.EOSBlockJSON, len(batch))
-	for i, b := range batch {
-		blocks[i] = b.(*rpcserve.EOSBlockJSON)
-	}
-	return d.Agg.IngestBlocks(blocks)
-}
+func (d EOSDecoder) IngestBatch(batch []any) error { return d.Agg.IngestBatch(batch) }
 
 // ReleaseBatch returns decoded blocks to the wire arena.
 func (d EOSDecoder) ReleaseBatch(batch []any) {
@@ -118,23 +112,33 @@ func (d EOSDecoder) ReleaseBatch(batch []any) {
 
 // NewShard hands one ingest worker a private EOS shard.
 func (d EOSDecoder) NewShard() Shard {
-	return &eosShardSink{agg: d.Agg, shard: d.Agg.NewShard()}
+	return &stateSink{agg: d.Agg, state: d.Agg.NewState()}
 }
 
-type eosShardSink struct {
-	agg   *EOSAggregator
-	shard *EOSShard
+// stateMerger is the aggregator half of the generic shard sink: every
+// chain's aggregator folds a drained ShardState in under its own lock.
+type stateMerger interface {
+	MergeState(ShardState) error
 }
 
-func (s *eosShardSink) IngestBatch(batch []any) error {
-	blocks := make([]*rpcserve.EOSBlockJSON, len(batch))
-	for i, b := range batch {
-		blocks[i] = b.(*rpcserve.EOSBlockJSON)
+// stateSink adapts the chain-agnostic ShardState contract to the ingest
+// pool's Shard interface — the one sink implementation all three chains
+// share, replacing the per-chain copies the decoders used to carry.
+type stateSink struct {
+	agg   stateMerger
+	state ShardState
+}
+
+func (s *stateSink) IngestBatch(batch []any) error { return s.state.IngestBatch(batch) }
+
+func (s *stateSink) Merge() {
+	// A shard spawned from its own aggregator can never mismatch chain or
+	// window, so an error here is a programming bug — same contract as
+	// stats.TimeSeries.Merge.
+	if err := s.agg.MergeState(s.state); err != nil {
+		panic(err)
 	}
-	return s.shard.IngestBlocks(blocks)
 }
-
-func (s *eosShardSink) Merge() { s.agg.MergeShard(s.shard) }
 
 // TezosDecoder drives a TezosAggregator from raw octez-style block JSON.
 type TezosDecoder struct{ Agg *TezosAggregator }
@@ -155,13 +159,7 @@ func (d TezosDecoder) Decode(num int64, raw []byte) (any, error) {
 
 // IngestBatch folds decoded blocks into the aggregator, one lock for the
 // whole batch.
-func (d TezosDecoder) IngestBatch(batch []any) error {
-	blocks := make([]*rpcserve.TezosBlockJSON, len(batch))
-	for i, b := range batch {
-		blocks[i] = b.(*rpcserve.TezosBlockJSON)
-	}
-	return d.Agg.IngestBlocks(blocks)
-}
+func (d TezosDecoder) IngestBatch(batch []any) error { return d.Agg.IngestBatch(batch) }
 
 // ReleaseBatch returns decoded blocks to the wire arena.
 func (d TezosDecoder) ReleaseBatch(batch []any) {
@@ -172,23 +170,8 @@ func (d TezosDecoder) ReleaseBatch(batch []any) {
 
 // NewShard hands one ingest worker a private Tezos shard.
 func (d TezosDecoder) NewShard() Shard {
-	return &tezosShardSink{agg: d.Agg, shard: d.Agg.NewShard()}
+	return &stateSink{agg: d.Agg, state: d.Agg.NewState()}
 }
-
-type tezosShardSink struct {
-	agg   *TezosAggregator
-	shard *TezosShard
-}
-
-func (s *tezosShardSink) IngestBatch(batch []any) error {
-	blocks := make([]*rpcserve.TezosBlockJSON, len(batch))
-	for i, b := range batch {
-		blocks[i] = b.(*rpcserve.TezosBlockJSON)
-	}
-	return s.shard.IngestBlocks(blocks)
-}
-
-func (s *tezosShardSink) Merge() { s.agg.MergeShard(s.shard) }
 
 // XRPDecoder drives an XRPAggregator from raw rippled ledger envelopes.
 type XRPDecoder struct{ Agg *XRPAggregator }
@@ -209,13 +192,7 @@ func (d XRPDecoder) Decode(num int64, raw []byte) (any, error) {
 
 // IngestBatch folds decoded ledgers into the aggregator, one lock for the
 // whole batch.
-func (d XRPDecoder) IngestBatch(batch []any) error {
-	ledgers := make([]*rpcserve.XRPLedgerJSON, len(batch))
-	for i, l := range batch {
-		ledgers[i] = l.(*rpcserve.XRPLedgerJSON)
-	}
-	return d.Agg.IngestLedgers(ledgers)
-}
+func (d XRPDecoder) IngestBatch(batch []any) error { return d.Agg.IngestBatch(batch) }
 
 // ReleaseBatch returns decoded ledgers to the wire arena.
 func (d XRPDecoder) ReleaseBatch(batch []any) {
@@ -226,23 +203,8 @@ func (d XRPDecoder) ReleaseBatch(batch []any) {
 
 // NewShard hands one ingest worker a private XRP shard.
 func (d XRPDecoder) NewShard() Shard {
-	return &xrpShardSink{agg: d.Agg, shard: d.Agg.NewShard()}
+	return &stateSink{agg: d.Agg, state: d.Agg.NewState()}
 }
-
-type xrpShardSink struct {
-	agg   *XRPAggregator
-	shard *XRPShard
-}
-
-func (s *xrpShardSink) IngestBatch(batch []any) error {
-	ledgers := make([]*rpcserve.XRPLedgerJSON, len(batch))
-	for i, l := range batch {
-		ledgers[i] = l.(*rpcserve.XRPLedgerJSON)
-	}
-	return s.shard.IngestLedgers(ledgers)
-}
-
-func (s *xrpShardSink) Merge() { s.agg.MergeShard(s.shard) }
 
 // IngestConfig sizes the decode/ingest pool behind IngestStream.
 type IngestConfig struct {

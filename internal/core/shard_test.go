@@ -85,6 +85,16 @@ func testShardedRenders[B any, A any, S any](
 	}
 }
 
+// asBatch converts a typed block slice into the []any batch shape the
+// ShardState.IngestBatch contract takes.
+func asBatch[B any](bs []B) []any {
+	batch := make([]any, len(bs))
+	for i, b := range bs {
+		batch[i] = b
+	}
+	return batch
+}
+
 // genEOSBlocks fabricates EOS blocks exercising every aggregate: token and
 // non-token transfers, EIDOS boomerangs, DEX trades, account and system
 // actions, several contracts, senders and time buckets.
@@ -155,7 +165,7 @@ func TestShardedEOSRenderByteIdentical(t *testing.T) {
 		func() *EOSAggregator { return NewEOSAggregator(chain.ObservationStart, 6*time.Hour) },
 		(*EOSAggregator).IngestBlocks,
 		(*EOSAggregator).NewShard,
-		(*EOSShard).IngestBlocks,
+		func(s *EOSShard, bs []*rpcserve.EOSBlockJSON) error { return s.IngestBatch(asBatch(bs)) },
 		(*EOSAggregator).MergeShard,
 		func(a *EOSAggregator) string { return SummarizeEOS(a).Render() },
 	)
@@ -202,7 +212,7 @@ func TestShardedTezosRenderByteIdentical(t *testing.T) {
 		func() *TezosAggregator { return NewTezosAggregator(chain.ObservationStart, 6*time.Hour) },
 		(*TezosAggregator).IngestBlocks,
 		(*TezosAggregator).NewShard,
-		(*TezosShard).IngestBlocks,
+		func(s *TezosShard, bs []*rpcserve.TezosBlockJSON) error { return s.IngestBatch(asBatch(bs)) },
 		(*TezosAggregator).MergeShard,
 		func(a *TezosAggregator) string { return SummarizeTezos(a).Render() },
 	)
@@ -261,7 +271,7 @@ func TestShardedXRPRenderByteIdentical(t *testing.T) {
 		func() *XRPAggregator { return NewXRPAggregator(chain.ObservationStart, 6*time.Hour) },
 		(*XRPAggregator).IngestLedgers,
 		(*XRPAggregator).NewShard,
-		(*XRPShard).IngestLedgers,
+		func(s *XRPShard, ls []*rpcserve.XRPLedgerJSON) error { return s.IngestBatch(asBatch(ls)) },
 		(*XRPAggregator).MergeShard,
 		func(a *XRPAggregator) string { return SummarizeXRP(a).Render() },
 	)

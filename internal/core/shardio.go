@@ -1,0 +1,145 @@
+// Shard blob I/O: emitting drained shard state to a blob store and the
+// coordinator-side load/validate/merge path behind cmd/merge. Shards land
+// on the same backends archive segments do (file://, mem://, s3://, plain
+// paths — see internal/blobstore), keyed by chain and covered block range.
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/blobstore"
+)
+
+// shardSuffix names emitted shard blobs so LoadShards can list a location
+// that also holds other objects (e.g. archive segments).
+const shardSuffix = ".shard"
+
+// ShardKey names an emitted shard blob from its chain and covered range —
+// "eos-0000000001-0000000050.shard". The zero-padded range makes the
+// store's sorted listing a from-ordered listing, and makes two shards of
+// the same partition overwrite rather than accumulate.
+func ShardKey(st ShardState) (string, error) {
+	cov := st.Covered()
+	if !cov.Known() {
+		return "", fmt.Errorf("core: %s shard covers no known block range: SetCovered before emitting", st.Chain())
+	}
+	return fmt.Sprintf("%s-%010d-%010d%s", st.Chain(), cov.From, cov.To, shardSuffix), nil
+}
+
+// EmitShard serializes a drained shard state into the blob store at
+// location and returns the key it was stored under. The state must know
+// its covered range — an emitted shard without one could not be validated
+// against gaps and overlaps at merge time.
+func EmitShard(ctx context.Context, location string, st ShardState) (string, error) {
+	key, err := ShardKey(st)
+	if err != nil {
+		return "", err
+	}
+	store, err := blobstore.Resolve(location)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := st.EncodeTo(&buf); err != nil {
+		return "", fmt.Errorf("core: encoding %s shard: %w", st.Chain(), err)
+	}
+	if err := store.Put(ctx, key, buf.Bytes()); err != nil {
+		return "", fmt.Errorf("core: storing shard %s: %w", key, err)
+	}
+	return key, nil
+}
+
+// LoadShards lists location and decodes every *.shard blob in it. Any
+// undecodable blob is a loud error — a merge over silently dropped shards
+// would render confidently wrong figures.
+func LoadShards(ctx context.Context, location string) ([]ShardState, error) {
+	store, err := blobstore.Resolve(location)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := store.List(ctx, "")
+	if err != nil {
+		return nil, fmt.Errorf("core: listing shards at %s: %w", store.URL(), err)
+	}
+	var out []ShardState
+	for _, key := range keys {
+		if !strings.HasSuffix(key, shardSuffix) {
+			continue
+		}
+		blob, err := store.Get(ctx, key)
+		if err != nil {
+			return nil, fmt.Errorf("core: fetching shard %s from %s: %w", key, store.URL(), err)
+		}
+		st, err := DecodeShard(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %s at %s: %w", key, store.URL(), err)
+		}
+		out = append(out, st)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no *%s blobs at %s", shardSuffix, store.URL())
+	}
+	return out, nil
+}
+
+// MergeShards validates a set of emitted shards and folds them into one
+// fresh state. All shards must share one chain and one window; every shard
+// must know its covered range; sorted by range the shards must tile a
+// contiguous block span — any overlap (blocks counted twice) or gap
+// (blocks never crawled) is a loud error naming the offending ranges.
+// Merge consumes the sources: they are reset as they fold in.
+func MergeShards(shards []ShardState) (ShardState, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: no shards to merge")
+	}
+	first := shards[0]
+	for _, st := range shards[1:] {
+		if st.Chain() != first.Chain() {
+			return nil, fmt.Errorf("core: merging shards of different chains (%s and %s)", first.Chain(), st.Chain())
+		}
+		if !st.Window().Equal(first.Window()) {
+			return nil, fmt.Errorf("core: merging %s shards with mismatched windows (%s vs %s)",
+				first.Chain(), first.Window(), st.Window())
+		}
+	}
+	sorted := make([]ShardState, len(shards))
+	copy(sorted, shards)
+	for _, st := range sorted {
+		if !st.Covered().Known() {
+			return nil, fmt.Errorf("core: %s shard has no covered block range; refusing to merge blind", st.Chain())
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Covered().From < sorted[j].Covered().From })
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1].Covered(), sorted[i].Covered()
+		if cur.From <= prev.To {
+			return nil, fmt.Errorf("core: %s shards %s and %s overlap: blocks %d..%d would count twice",
+				first.Chain(), prev, cur, cur.From, min64(prev.To, cur.To))
+		}
+		if cur.From != prev.To+1 {
+			return nil, fmt.Errorf("core: gap between %s shards %s and %s: blocks %d..%d were never crawled",
+				first.Chain(), prev, cur, prev.To+1, cur.From-1)
+		}
+	}
+	dst, err := NewShardState(first.Chain(), first.Window().Origin, first.Window().Bucket)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range sorted {
+		if err := dst.Merge(st); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -41,6 +41,11 @@ type StatsKit struct {
 	Decoder   Decoder
 	Txs       func() int64
 	Summarize func() ChainSummary
+	// State exposes the aggregator's accumulated shard state behind the
+	// ShardState contract — what a distributed crawl serializes with
+	// -emit-shard after the stream drains. The caller must be done
+	// ingesting: the returned state is the live aggregate, not a copy.
+	State func() ShardState
 }
 
 // NewStatsKit builds the aggregator stack for a chain name as it appears
@@ -54,6 +59,7 @@ func NewStatsKit(chain string, origin time.Time, bucket time.Duration) (StatsKit
 			Decoder:   EOSDecoder{Agg: agg},
 			Txs:       func() int64 { return agg.Transactions },
 			Summarize: func() ChainSummary { return SummarizeEOS(agg) },
+			State:     func() ShardState { return &agg.EOSShard },
 		}, nil
 	case "tezos":
 		agg := NewTezosAggregator(origin, bucket)
@@ -62,6 +68,7 @@ func NewStatsKit(chain string, origin time.Time, bucket time.Duration) (StatsKit
 			Decoder:   TezosDecoder{Agg: agg},
 			Txs:       func() int64 { return agg.Operations },
 			Summarize: func() ChainSummary { return SummarizeTezos(agg) },
+			State:     func() ShardState { return &agg.TezosShard },
 		}, nil
 	case "xrp":
 		agg := NewXRPAggregator(origin, bucket)
@@ -70,6 +77,7 @@ func NewStatsKit(chain string, origin time.Time, bucket time.Duration) (StatsKit
 			Decoder:   XRPDecoder{Agg: agg},
 			Txs:       func() int64 { return agg.Transactions },
 			Summarize: func() ChainSummary { return SummarizeXRP(agg) },
+			State:     func() ShardState { return &agg.XRPShard },
 		}, nil
 	}
 	return StatsKit{}, fmt.Errorf("core: unknown chain %q", chain)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -29,6 +30,10 @@ type TezosShard struct {
 	Votes []GovernanceVote
 
 	FirstBlockTime, LastBlockTime time.Time
+
+	// covered is the block range this shard aggregated, when known (see
+	// EOSShard.covered).
+	covered BlockRange
 }
 
 // TezosAggregator ingests crawled Tezos blocks and accumulates Figure 1's
@@ -77,12 +82,49 @@ func (a *TezosAggregator) NewShard() *TezosShard {
 // lock acquisition and resets it.
 func (a *TezosAggregator) MergeShard(s *TezosShard) {
 	a.mu.Lock()
-	a.TezosShard.Merge(s)
+	a.TezosShard.merge(s)
 	a.mu.Unlock()
 }
 
-// Merge folds src (covering disjoint blocks) into s and resets src.
-func (s *TezosShard) Merge(src *TezosShard) {
+// NewState spawns a private shard behind the ShardState contract.
+func (a *TezosAggregator) NewState() ShardState { return a.NewShard() }
+
+// MergeState folds a compatible ShardState into the aggregator under its
+// lock.
+func (a *TezosAggregator) MergeState(st ShardState) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.TezosShard.Merge(st)
+}
+
+// Chain names the shard's chain for the ShardState contract.
+func (s *TezosShard) Chain() string { return "tezos" }
+
+// Window returns the shard's time-series geometry.
+func (s *TezosShard) Window() Window {
+	return Window{Origin: s.Series.Origin(), Bucket: s.Series.Width()}
+}
+
+// Covered returns the block range this shard aggregated, when known.
+func (s *TezosShard) Covered() BlockRange { return s.covered }
+
+// SetCovered records the block range the shard aggregated.
+func (s *TezosShard) SetCovered(r BlockRange) { s.covered = r }
+
+// Merge implements ShardState: it validates chain, window and covered-range
+// compatibility, then folds src into s and resets it.
+func (s *TezosShard) Merge(src ShardState) error {
+	typed, cov, err := mergeAsShard[*TezosShard](s, src)
+	if err != nil {
+		return err
+	}
+	s.merge(typed)
+	s.covered = cov
+	return nil
+}
+
+// merge folds src (covering disjoint blocks) into s and resets src.
+func (s *TezosShard) merge(src *TezosShard) {
 	s.Blocks += src.Blocks
 	s.Operations += src.Operations
 	mergeCounts(s.OpsByKind, src.OpsByKind)
@@ -121,19 +163,48 @@ func (a *TezosAggregator) IngestBlocks(bs []*rpcserve.TezosBlockJSON) error {
 	return nil
 }
 
-// IngestBlocks folds a batch into a privately-owned shard — no locking. A
-// malformed block fails the whole batch without ingesting any of it.
-func (s *TezosShard) IngestBlocks(bs []*rpcserve.TezosBlockJSON) error {
-	times := make([]time.Time, len(bs))
-	for i, b := range bs {
+// tezosBatch asserts and pre-parses an ingest-pool batch (see eosBatch).
+func tezosBatch(batch []any) ([]*rpcserve.TezosBlockJSON, []time.Time, error) {
+	blocks := make([]*rpcserve.TezosBlockJSON, len(batch))
+	times := make([]time.Time, len(batch))
+	for i, v := range batch {
+		b, ok := v.(*rpcserve.TezosBlockJSON)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: tezos batch element %d is %T, not *rpcserve.TezosBlockJSON", i, v)
+		}
 		ts, err := time.Parse(time.RFC3339, b.Timestamp)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		times[i] = ts
+		blocks[i], times[i] = b, ts
 	}
-	for i, b := range bs {
+	return blocks, times, nil
+}
+
+// IngestBatch folds a batch of decoded blocks into a privately-owned shard
+// — no locking; the shard's owner is the only writer.
+func (s *TezosShard) IngestBatch(batch []any) error {
+	blocks, times, err := tezosBatch(batch)
+	if err != nil {
+		return err
+	}
+	for i, b := range blocks {
 		s.ingest(b, times[i])
+	}
+	return nil
+}
+
+// IngestBatch folds a batch of decoded blocks into the aggregator, one
+// lock acquisition for the whole batch.
+func (a *TezosAggregator) IngestBatch(batch []any) error {
+	blocks, times, err := tezosBatch(batch)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, b := range blocks {
+		a.TezosShard.ingest(b, times[i])
 	}
 	return nil
 }

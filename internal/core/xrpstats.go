@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -39,6 +40,10 @@ type XRPShard struct {
 	exchanges []xrp.Exchange
 
 	FirstLedgerTime, LastLedgerTime time.Time
+
+	// covered is the ledger range this shard aggregated, when known (see
+	// EOSShard.covered).
+	covered BlockRange
 }
 
 // XRPAggregator ingests crawled XRP ledgers plus the explorer's exchange
@@ -110,12 +115,49 @@ func (a *XRPAggregator) NewShard() *XRPShard {
 // lock acquisition and resets it.
 func (a *XRPAggregator) MergeShard(s *XRPShard) {
 	a.mu.Lock()
-	a.XRPShard.Merge(s)
+	a.XRPShard.merge(s)
 	a.mu.Unlock()
 }
 
-// Merge folds src (covering disjoint ledgers) into s and resets src.
-func (s *XRPShard) Merge(src *XRPShard) {
+// NewState spawns a private shard behind the ShardState contract.
+func (a *XRPAggregator) NewState() ShardState { return a.NewShard() }
+
+// MergeState folds a compatible ShardState into the aggregator under its
+// lock.
+func (a *XRPAggregator) MergeState(st ShardState) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.XRPShard.Merge(st)
+}
+
+// Chain names the shard's chain for the ShardState contract.
+func (s *XRPShard) Chain() string { return "xrp" }
+
+// Window returns the shard's time-series geometry.
+func (s *XRPShard) Window() Window {
+	return Window{Origin: s.Series.Origin(), Bucket: s.Series.Width()}
+}
+
+// Covered returns the ledger range this shard aggregated, when known.
+func (s *XRPShard) Covered() BlockRange { return s.covered }
+
+// SetCovered records the ledger range the shard aggregated.
+func (s *XRPShard) SetCovered(r BlockRange) { s.covered = r }
+
+// Merge implements ShardState: it validates chain, window and covered-range
+// compatibility, then folds src into s and resets it.
+func (s *XRPShard) Merge(src ShardState) error {
+	typed, cov, err := mergeAsShard[*XRPShard](s, src)
+	if err != nil {
+		return err
+	}
+	s.merge(typed)
+	s.covered = cov
+	return nil
+}
+
+// merge folds src (covering disjoint ledgers) into s and resets src.
+func (s *XRPShard) merge(src *XRPShard) {
 	s.Ledgers += src.Ledgers
 	s.Transactions += src.Transactions
 	s.Failed += src.Failed
@@ -173,19 +215,48 @@ func (a *XRPAggregator) IngestLedgers(ls []*rpcserve.XRPLedgerJSON) error {
 	return nil
 }
 
-// IngestLedgers folds a batch into a privately-owned shard — no locking. A
-// malformed ledger fails the whole batch without ingesting any of it.
-func (s *XRPShard) IngestLedgers(ls []*rpcserve.XRPLedgerJSON) error {
-	times := make([]time.Time, len(ls))
-	for i, l := range ls {
+// xrpBatch asserts and pre-parses an ingest-pool batch (see eosBatch).
+func xrpBatch(batch []any) ([]*rpcserve.XRPLedgerJSON, []time.Time, error) {
+	ledgers := make([]*rpcserve.XRPLedgerJSON, len(batch))
+	times := make([]time.Time, len(batch))
+	for i, v := range batch {
+		l, ok := v.(*rpcserve.XRPLedgerJSON)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: xrp batch element %d is %T, not *rpcserve.XRPLedgerJSON", i, v)
+		}
 		ts, err := time.Parse(time.RFC3339, l.CloseTime)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		times[i] = ts
+		ledgers[i], times[i] = l, ts
 	}
-	for i, l := range ls {
+	return ledgers, times, nil
+}
+
+// IngestBatch folds a batch of decoded ledgers into a privately-owned
+// shard — no locking; the shard's owner is the only writer.
+func (s *XRPShard) IngestBatch(batch []any) error {
+	ledgers, times, err := xrpBatch(batch)
+	if err != nil {
+		return err
+	}
+	for i, l := range ledgers {
 		s.ingest(l, times[i])
+	}
+	return nil
+}
+
+// IngestBatch folds a batch of decoded ledgers into the aggregator, one
+// lock acquisition for the whole batch.
+func (a *XRPAggregator) IngestBatch(batch []any) error {
+	ledgers, times, err := xrpBatch(batch)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, l := range ledgers {
+		a.XRPShard.ingest(l, times[i])
 	}
 	return nil
 }

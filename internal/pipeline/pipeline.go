@@ -113,10 +113,12 @@ type Options struct {
 
 // SummarySink is the serving layer's registration surface, kept as a local
 // interface so the pipeline does not depend on internal/serve. Register
-// adds a named chain feed and returns an idempotent release function that
-// marks the feed drained (its figures final).
+// adds a named chain feed anchored at the given aggregation window and
+// returns an idempotent release function that marks the feed drained (its
+// figures final). The sink may reject a duplicate chain name, and must
+// reject one whose window differs from the first registration.
 type SummarySink interface {
-	Register(chain string, summarize func() core.ChainSummary) (release func(), err error)
+	Register(chain string, w core.Window, summarize func() core.ChainSummary) (release func(), err error)
 }
 
 // DefaultOptions returns bench-friendly scales. The decode/ingest pool
@@ -274,11 +276,11 @@ func (o Options) ingestConfig() core.IngestConfig {
 // the stage's decoder to periodic shard merges so the sink's snapshots see
 // the crawl in epoch-sized increments. Without a sink the decoder passes
 // through untouched and the release is a no-op.
-func (o Options) serveFeed(name string, summarize func() core.ChainSummary, dec core.Decoder) (core.Decoder, func(), error) {
+func (o Options) serveFeed(name string, w core.Window, summarize func() core.ChainSummary, dec core.Decoder) (core.Decoder, func(), error) {
 	if o.Serve == nil {
 		return dec, func() {}, nil
 	}
-	release, err := o.Serve.Register(name, summarize)
+	release, err := o.Serve.Register(name, w, summarize)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -364,7 +366,7 @@ func (r *Result) runEOS(ctx context.Context, opts Options, pool *collect.Pool) (
 	}
 
 	agg := core.NewEOSAggregator(chain.ObservationStart, opts.Bucket)
-	dec, releaseFeed, err := opts.serveFeed("eos",
+	dec, releaseFeed, err := opts.serveFeed("eos", core.Window{Origin: chain.ObservationStart, Bucket: opts.Bucket},
 		func() core.ChainSummary { return core.SummarizeEOS(agg) }, core.EOSDecoder{Agg: agg})
 	if err != nil {
 		return StageStats{}, err
@@ -406,7 +408,7 @@ func (r *Result) runTezos(ctx context.Context, opts Options, pool *collect.Pool)
 	}
 
 	agg := core.NewTezosAggregator(chain.ObservationStart, opts.Bucket)
-	dec, releaseFeed, err := opts.serveFeed("tezos",
+	dec, releaseFeed, err := opts.serveFeed("tezos", core.Window{Origin: chain.ObservationStart, Bucket: opts.Bucket},
 		func() core.ChainSummary { return core.SummarizeTezos(agg) }, core.TezosDecoder{Agg: agg})
 	if err != nil {
 		return StageStats{}, err
@@ -447,9 +449,12 @@ func (r *Result) runGovernance(ctx context.Context, opts Options, pool *collect.
 		return StageStats{}, err
 	}
 
-	// The governance replay starts in July; anchor its series there.
-	agg := core.NewTezosAggregator(time.Date(2019, time.July, 17, 0, 0, 0, 0, time.UTC), 24*time.Hour)
-	dec, releaseFeed, err := opts.serveFeed("governance",
+	// The governance replay starts in July; anchor its series there. Its
+	// window legitimately differs from the 6h chains — the sink's window
+	// validation is per chain name, so this registers cleanly.
+	govWindow := core.Window{Origin: time.Date(2019, time.July, 17, 0, 0, 0, 0, time.UTC), Bucket: 24 * time.Hour}
+	agg := core.NewTezosAggregator(govWindow.Origin, govWindow.Bucket)
+	dec, releaseFeed, err := opts.serveFeed("governance", govWindow,
 		func() core.ChainSummary { return core.SummarizeTezos(agg) }, core.TezosDecoder{Agg: agg})
 	if err != nil {
 		return StageStats{}, err
@@ -513,7 +518,7 @@ func (r *Result) runXRP(ctx context.Context, opts Options, pool *collect.Pool) (
 	}
 
 	agg := core.NewXRPAggregator(chain.ObservationStart, opts.Bucket)
-	dec, releaseFeed, err := opts.serveFeed("xrp",
+	dec, releaseFeed, err := opts.serveFeed("xrp", core.Window{Origin: chain.ObservationStart, Bucket: opts.Bucket},
 		func() core.ChainSummary { return core.SummarizeXRP(agg) }, core.XRPDecoder{Agg: agg})
 	if err != nil {
 		return StageStats{}, err

@@ -16,6 +16,7 @@ import (
 type recordingSink struct {
 	mu        sync.Mutex
 	summarize map[string]func() core.ChainSummary
+	windows   map[string]core.Window
 	released  map[string]bool
 	failOn    string
 }
@@ -23,11 +24,12 @@ type recordingSink struct {
 func newRecordingSink() *recordingSink {
 	return &recordingSink{
 		summarize: make(map[string]func() core.ChainSummary),
+		windows:   make(map[string]core.Window),
 		released:  make(map[string]bool),
 	}
 }
 
-func (s *recordingSink) Register(chain string, summarize func() core.ChainSummary) (func(), error) {
+func (s *recordingSink) Register(chain string, w core.Window, summarize func() core.ChainSummary) (func(), error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if chain == s.failOn {
@@ -37,6 +39,7 @@ func (s *recordingSink) Register(chain string, summarize func() core.ChainSummar
 		return nil, fmt.Errorf("sink: duplicate %q", chain)
 	}
 	s.summarize[chain] = summarize
+	s.windows[chain] = w
 	return func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -48,10 +51,11 @@ func TestServeFeedWiring(t *testing.T) {
 	agg := core.NewEOSAggregator(chain.ObservationStart, 6*time.Hour)
 	base := core.Decoder(core.EOSDecoder{Agg: agg})
 	summarize := func() core.ChainSummary { return core.SummarizeEOS(agg) }
+	window := core.Window{Origin: chain.ObservationStart, Bucket: 6 * time.Hour}
 
 	t.Run("no sink passes through", func(t *testing.T) {
 		var o Options
-		dec, release, err := o.serveFeed("eos", summarize, base)
+		dec, release, err := o.serveFeed("eos", window, summarize, base)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +68,7 @@ func TestServeFeedWiring(t *testing.T) {
 	t.Run("sink wraps and releases", func(t *testing.T) {
 		sink := newRecordingSink()
 		o := Options{Serve: sink}
-		dec, release, err := o.serveFeed("eos", summarize, base)
+		dec, release, err := o.serveFeed("eos", window, summarize, base)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,6 +86,9 @@ func TestServeFeedWiring(t *testing.T) {
 		if sink.summarize["eos"] == nil {
 			t.Fatal("summarize hook not registered")
 		}
+		if got := sink.windows["eos"]; !got.Equal(window) {
+			t.Fatalf("registered window = %s, want %s", got, window)
+		}
 		release()
 		if !sink.released["eos"] {
 			t.Fatal("release not forwarded to the sink")
@@ -92,7 +99,7 @@ func TestServeFeedWiring(t *testing.T) {
 		sink := newRecordingSink()
 		sink.failOn = "eos"
 		o := Options{Serve: sink}
-		if _, _, err := o.serveFeed("eos", summarize, base); err == nil {
+		if _, _, err := o.serveFeed("eos", window, summarize, base); err == nil {
 			t.Fatal("sink error not propagated")
 		}
 	})

@@ -52,7 +52,7 @@ func (p *Publisher) Feed(ctx context.Context, f collect.BlockFetcher, ccfg colle
 	if err != nil {
 		return collect.CrawlResult{}, err
 	}
-	release, err := p.Register(cfg.Chain, kit.Summarize)
+	release, err := p.Register(cfg.Chain, core.Window{Origin: cfg.Origin, Bucket: cfg.Bucket}, kit.Summarize)
 	if err != nil {
 		return collect.CrawlResult{}, err
 	}
@@ -75,7 +75,7 @@ func (p *Publisher) FeedArchive(ctx context.Context, rd *archive.Reader, cfg Fee
 	if err != nil {
 		return 0, err
 	}
-	release, err := p.Register(cfg.Chain, kit.Summarize)
+	release, err := p.Register(cfg.Chain, core.Window{Origin: cfg.Origin, Bucket: cfg.Bucket}, kit.Summarize)
 	if err != nil {
 		return 0, err
 	}

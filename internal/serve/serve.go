@@ -39,6 +39,10 @@ type ChainStatus struct {
 	Summary core.ChainSummary
 	Figures string
 	Drained bool
+	// Window is the aggregation anchor (series origin + bucket size) the
+	// feed registered with — the same contract shard blobs carry, so a
+	// snapshot consumer can tell which figures are comparable.
+	Window core.Window
 }
 
 // Snapshot is one epoch's immutable view over every registered chain.
@@ -86,6 +90,7 @@ func (s *Snapshot) Age(now time.Time) time.Duration { return now.Sub(s.Published
 // the drained flag its release function flips.
 type source struct {
 	summarize func() core.ChainSummary
+	window    core.Window
 	drained   atomic.Bool
 }
 
@@ -117,14 +122,22 @@ func NewPublisher() *Publisher {
 // they lock and deep-copy). The returned release function marks the feed
 // drained and publishes a fresh epoch so the final figures become visible
 // promptly; it is idempotent. Registering the same chain twice is an error
-// — two feeds folding into one name would serve a meaningless mixture.
-func (p *Publisher) Register(chain string, summarize func() core.ChainSummary) (release func(), err error) {
+// — two feeds folding into one name would serve a meaningless mixture —
+// and a duplicate with a different aggregation window is called out
+// specifically: buckets anchored at different origins or sizes can never
+// be merged or compared, so the snapshot would mix incomparable series.
+// Different chain names may use different windows freely (the governance
+// feed replays a different observation period than the 6h chains).
+func (p *Publisher) Register(chain string, w core.Window, summarize func() core.ChainSummary) (release func(), err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, dup := p.sources[chain]; dup {
+	if prev, dup := p.sources[chain]; dup {
+		if !prev.window.Equal(w) {
+			return nil, fmt.Errorf("serve: chain %q already registered with window %s; refusing feed with window %s — mixed-origin snapshots are meaningless", chain, prev.window, w)
+		}
 		return nil, fmt.Errorf("serve: chain %q already registered", chain)
 	}
-	src := &source{summarize: summarize}
+	src := &source{summarize: summarize, window: w}
 	p.sources[chain] = src
 	var once sync.Once
 	return func() {
@@ -147,7 +160,7 @@ func (p *Publisher) Publish() *Snapshot {
 	for name, src := range p.sources {
 		sum := src.summarize()
 		d := src.drained.Load()
-		chains[name] = ChainStatus{Summary: sum, Figures: sum.Render(), Drained: d}
+		chains[name] = ChainStatus{Summary: sum, Figures: sum.Render(), Drained: d, Window: src.window}
 		drained = drained && d
 	}
 	snap := &Snapshot{

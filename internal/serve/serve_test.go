@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -47,7 +48,7 @@ func eosBlocks(n int, start int64) []*rpcserve.EOSBlockJSON {
 func newEOSPublisher(t testing.TB) (*Publisher, *core.EOSAggregator, func()) {
 	p := NewPublisher()
 	agg := core.NewEOSAggregator(chain.ObservationStart, 6*time.Hour)
-	release, err := p.Register("eos", func() core.ChainSummary { return core.SummarizeEOS(agg) })
+	release, err := p.Register("eos", core.Window{Origin: chain.ObservationStart, Bucket: 6 * time.Hour}, func() core.ChainSummary { return core.SummarizeEOS(agg) })
 	if err != nil {
 		t.Fatalf("Register: %v", err)
 	}
@@ -75,8 +76,36 @@ func TestPublisherEmptySnapshot(t *testing.T) {
 func TestRegisterDuplicateChain(t *testing.T) {
 	p, _, release := newEOSPublisher(t)
 	defer release()
-	if _, err := p.Register("eos", func() core.ChainSummary { return core.ChainSummary{} }); err == nil {
+	w := core.Window{Origin: chain.ObservationStart, Bucket: 6 * time.Hour}
+	if _, err := p.Register("eos", w, func() core.ChainSummary { return core.ChainSummary{} }); err == nil {
 		t.Fatal("duplicate Register succeeded")
+	}
+}
+
+// TestRegisterWindowMismatch: a second feed for the same chain with a
+// different bucket size (or origin) must be rejected with an error naming
+// both windows — snapshots mixing differently-anchored series would be
+// meaningless. A different chain NAME with a different window stays legal
+// (the pipeline's governance feed relies on that).
+func TestRegisterWindowMismatch(t *testing.T) {
+	p, _, release := newEOSPublisher(t)
+	defer release()
+	w24 := core.Window{Origin: chain.ObservationStart, Bucket: 24 * time.Hour}
+	_, err := p.Register("eos", w24, func() core.ChainSummary { return core.ChainSummary{} })
+	if err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("window-mismatched duplicate not called out: %v", err)
+	}
+	relGov, err := p.Register("governance", w24, func() core.ChainSummary { return core.ChainSummary{} })
+	if err != nil {
+		t.Fatalf("distinct chain with its own window rejected: %v", err)
+	}
+	defer relGov()
+	snap := p.Publish()
+	if got := snap.Chains["governance"].Window; !got.Equal(w24) {
+		t.Fatalf("snapshot window = %s, want %s", got, w24)
+	}
+	if got := snap.Chains["eos"].Window; got.Bucket != 6*time.Hour {
+		t.Fatalf("eos snapshot window = %s, want 6h bucket", got)
 	}
 }
 

@@ -143,6 +143,51 @@ func (s *TimeSeries) TotalAll() int64 {
 	return t
 }
 
+// AddBucket increments label's counter in bucket i directly, bypassing the
+// time-to-bucket mapping — the entry point for decoding a serialized
+// series, where the bucket index itself was transferred. Negative indexes
+// clamp to 0 like pre-origin timestamps in Add.
+func (s *TimeSeries) AddBucket(i int, label string, n int64) {
+	if i < 0 {
+		i = 0
+	}
+	b := s.buckets[i]
+	if b == nil {
+		b = make(map[string]int64)
+		s.buckets[i] = b
+	}
+	b[label] += n
+	s.labels[label] = struct{}{}
+}
+
+// Entry is one populated (bucket, label) cell of a series.
+type Entry struct {
+	Bucket int
+	Label  string
+	Count  int64
+}
+
+// Entries materializes the populated cells sorted by bucket then label —
+// the deterministic flat form the shard codec serializes. Zero-count cells
+// are skipped; they are indistinguishable from absent ones after a merge.
+func (s *TimeSeries) Entries() []Entry {
+	var out []Entry
+	for i, b := range s.buckets {
+		for label, n := range b {
+			if n != 0 {
+				out = append(out, Entry{Bucket: i, Label: label, Count: n})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bucket != out[j].Bucket {
+			return out[i].Bucket < out[j].Bucket
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
 // Row is one rendered bucket of a time series.
 type Row struct {
 	Start  time.Time
