@@ -1,0 +1,342 @@
+// Command coordinate is the fault-tolerant supervisor of a distributed
+// crawl: it pins the block range (resolving head once if -to is 0), cuts
+// it into -shards contiguous slices, claims each slice with a lease blob
+// in the shared store, and launches one worker subprocess per slice —
+// relaunching crashed or flaky workers under a bounded retry policy with
+// exponential backoff and full jitter (internal/retry). Workers crawl
+// with crash-recoverable checkpoints (-checkpoint-every): a worker that
+// is SIGKILLed mid-slice resumes its relaunch from the last checkpoint
+// instead of block one.
+//
+// As each worker exits, the coordinator validates the shard blob it must
+// have emitted (present, decodable, covering exactly the slice) — a
+// clean-looking exit is not believed. When every slice validates, the
+// shards are merged through the same validation cmd/merge applies and
+// the figures print to stdout, byte-identical to a single-process crawl.
+//
+// Degradation is graceful and loud: when a slice exhausts its retries
+// the coordinator still merges what arrived, prints the PARTIAL figures,
+// writes a machine-readable gap report (-gap-report) naming the missing
+// block ranges and per-slice errors, and exits non-zero.
+//
+// Usage:
+//
+//	coordinate -chain eos -endpoint URL -to N -shards 4 -store STORE [-checkpoint-every N] [-gap-report FILE]
+//
+// The store may use the faulty+ scheme (see internal/blobstore) to
+// inject seeded random faults; -chaos-kill I additionally SIGKILLs slice
+// I's first worker attempt right after its first checkpoint — the chaos
+// harness the CI chaos job drives.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/blobstore"
+	"repro/internal/chain"
+	"repro/internal/collect"
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/retry"
+)
+
+// workerEnv carries a worker invocation's whole configuration from the
+// coordinator process to the re-exec'd worker subprocess as one JSON
+// blob, so the worker needs no flag parsing of its own and the test
+// binary can serve as the worker executable (TestMain re-exec).
+const workerEnv = "COORDINATE_WORKER_PAYLOAD"
+
+// workerPayload is the JSON shape under workerEnv.
+type workerPayload struct {
+	Chain    string        `json:"chain"`
+	Endpoint string        `json:"endpoint"`
+	From     int64         `json:"from"`
+	To       int64         `json:"to"`
+	Store    string        `json:"store"`
+	Every    int64         `json:"every"`
+	Workers  int           `json:"workers"`
+	Ingest   int           `json:"ingest"`
+	Batch    int           `json:"batch"`
+	Buffer   int           `json:"buffer"`
+	Retries  int           `json:"retries"`
+	Backoff  time.Duration `json:"backoff"`
+	// KillAfterCheckpoint makes the worker SIGKILL itself right after its
+	// first successful checkpoint Put — the chaos harness's way of dying
+	// at a known-recoverable instant.
+	KillAfterCheckpoint bool `json:"kill_after_checkpoint"`
+}
+
+type coordOpts struct {
+	chain     string
+	endpoint  string
+	from, to  int64
+	shards    int
+	store     string
+	every     int64
+	leaseTTL  time.Duration
+	attempts  int
+	backoff   time.Duration
+	parallel  int
+	workers   int
+	ingest    int
+	batch     int
+	buffer    int
+	retries   int
+	fetchBO   time.Duration
+	gapReport string
+	chaosKill int
+}
+
+func main() {
+	// Worker mode: the coordinator re-execs this very binary with the
+	// payload env set. Check before flag parsing — a worker has no flags.
+	if payload := os.Getenv(workerEnv); payload != "" {
+		os.Exit(workerMain(payload, os.Stderr))
+	}
+
+	var o coordOpts
+	flag.StringVar(&o.chain, "chain", "", "eos, tezos or xrp")
+	flag.StringVar(&o.endpoint, "endpoint", "", "endpoint URL every worker crawls")
+	flag.Int64Var(&o.from, "from", 1, "first block")
+	flag.Int64Var(&o.to, "to", 0, "last block (0 = resolve head once, before cutting slices)")
+	flag.IntVar(&o.shards, "shards", 2, "slices to cut the range into (one worker subprocess each)")
+	flag.StringVar(&o.store, "store", "", "shared blob store for leases, checkpoints and shards (supports the faulty+ chaos scheme)")
+	flag.Int64Var(&o.every, "checkpoint-every", 0, "blocks per crash-recoverable worker checkpoint (0 = none: a killed worker restarts its slice)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 2*time.Minute, "lease time-to-live; a slice whose coordinator misses renewals this long is reclaimable")
+	flag.IntVar(&o.attempts, "attempts", 4, "worker launches per slice before giving up")
+	flag.DurationVar(&o.backoff, "backoff", 500*time.Millisecond, "base relaunch backoff (exponential, full jitter)")
+	flag.IntVar(&o.parallel, "parallel", 0, "slices running concurrently (0 = all)")
+	flag.IntVar(&o.workers, "workers", 4, "concurrent fetchers per worker (xrp uses 1)")
+	flag.IntVar(&o.ingest, "ingest", 2, "decode/ingest workers per worker")
+	flag.IntVar(&o.batch, "batch", 16, "blocks per aggregator lock acquisition")
+	flag.IntVar(&o.buffer, "buffer", 64, "per-worker stream buffer")
+	flag.IntVar(&o.retries, "fetch-retries", 3, "per-block fetch retries inside a worker")
+	flag.DurationVar(&o.fetchBO, "fetch-backoff", 200*time.Millisecond, "per-block fetch retry base backoff")
+	flag.StringVar(&o.gapReport, "gap-report", "", "write the machine-readable gap report JSON to this file (default: stderr when the run is incomplete)")
+	flag.IntVar(&o.chaosKill, "chaos-kill", 0, "chaos: SIGKILL slice I's first worker attempt after its first checkpoint (0 = off)")
+	flag.Parse()
+	if o.chain == "" || o.endpoint == "" || o.store == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, o, os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinate:", err)
+		os.Exit(1)
+	}
+}
+
+// workerMain is one shard worker: decode the payload, crawl the slice
+// with crash-recoverable checkpoints, emit the shard. It is this binary
+// re-exec'd, so a SIGKILL here is a real process death the coordinator
+// observes and retries.
+func workerMain(payload string, log io.Writer) int {
+	var p workerPayload
+	if err := json.Unmarshal([]byte(payload), &p); err != nil {
+		fmt.Fprintf(log, "worker: bad payload: %v\n", err)
+		return 2
+	}
+	kit, err := core.NewStatsKit(p.Chain, chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		fmt.Fprintf(log, "worker: unknown chain %q\n", p.Chain)
+		return 2
+	}
+	var fetcher collect.BlockFetcher
+	switch p.Chain {
+	case "eos":
+		fetcher = collect.NewEOSClient(p.Endpoint)
+	case "tezos":
+		fetcher = collect.NewTezosClient(p.Endpoint)
+	case "xrp":
+		client := collect.NewXRPClient(p.Endpoint)
+		defer client.Close()
+		fetcher = client
+		p.Workers = 1
+	}
+	store, err := blobstore.Resolve(p.Store)
+	if err != nil {
+		fmt.Fprintf(log, "worker: %v\n", err)
+		return 2
+	}
+	cfg := coord.CrawlerConfig{
+		Kit: kit, Fetcher: fetcher, From: p.From, To: p.To,
+		Store: store, CheckpointEvery: p.Every,
+		Workers: p.Workers, Ingest: p.Ingest, Batch: p.Batch, Buffer: p.Buffer,
+		MaxRetries: p.Retries, Backoff: p.Backoff,
+		Log: log,
+	}
+	if p.KillAfterCheckpoint {
+		cfg.AfterCheckpoint = func(core.BlockRange) {
+			// Die NOW, uncatchably — the checkpoint just written is the
+			// recovery point the relaunched attempt must resume from.
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}
+	}
+	if _, err := coord.RunShardCrawl(context.Background(), cfg); err != nil {
+		fmt.Fprintf(log, "worker: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// run executes one coordinated crawl. It is the whole command behind flag
+// parsing and signal wiring so tests can drive it hermetically (with the
+// test binary itself as the worker executable).
+func run(ctx context.Context, o coordOpts, out, diag io.Writer) error {
+	// Worker subprocesses, the renewal goroutines and the coordinator all
+	// write diagnostics concurrently; serialize whole writes so lines
+	// interleave instead of interleaving bytes.
+	diag = &syncWriter{w: diag}
+	kit, err := core.NewStatsKit(o.chain, chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		return fmt.Errorf("unknown chain %q", o.chain)
+	}
+	_ = kit // only validates the chain name; workers build their own kits
+
+	to := o.to
+	if to == 0 {
+		// Resolve head ONCE: every slice is cut from the same pinned span,
+		// never from each worker's own racing notion of "head".
+		var head collect.BlockFetcher
+		switch o.chain {
+		case "eos":
+			head = collect.NewEOSClient(o.endpoint)
+		case "tezos":
+			head = collect.NewTezosClient(o.endpoint)
+		case "xrp":
+			client := collect.NewXRPClient(o.endpoint)
+			defer client.Close()
+			head = client
+		}
+		if to, err = head.Head(ctx); err != nil {
+			return fmt.Errorf("resolving head: %w", err)
+		}
+		fmt.Fprintf(diag, "coordinate: pinned head at %d\n", to)
+	}
+
+	store, err := blobstore.Resolve(o.store)
+	if err != nil {
+		return err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locating worker executable: %w", err)
+	}
+
+	launcher := &workerLauncher{opts: o, exe: exe, diag: diag}
+	cfg := coord.Config{
+		Chain: o.chain, From: o.from, To: to,
+		Shards:   o.shards,
+		Store:    store,
+		LeaseTTL: o.leaseTTL,
+		Retry:    retry.Policy{Attempts: o.attempts, Base: o.backoff},
+		Parallel: o.parallel,
+		Run:      launcher.launch,
+		Log:      diag,
+	}
+
+	res, runErr := coord.Run(ctx, cfg)
+	if res == nil {
+		return runErr
+	}
+
+	// Figures first — partial or complete, they are the deliverable. The
+	// gap report then says exactly how much to trust them.
+	if res.Merged != nil {
+		fmt.Fprint(out, res.Merged.Summary().Render())
+	}
+	if o.gapReport != "" {
+		f, ferr := os.Create(o.gapReport)
+		if ferr != nil {
+			return errors.Join(runErr, ferr)
+		}
+		werr := res.Report.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return errors.Join(runErr, fmt.Errorf("writing gap report: %w", werr))
+		}
+		fmt.Fprintf(diag, "coordinate: gap report written to %s\n", o.gapReport)
+	} else if !res.Report.Complete {
+		if werr := res.Report.WriteJSON(diag); werr != nil {
+			return errors.Join(runErr, werr)
+		}
+	}
+	return runErr
+}
+
+// syncWriter serializes Write calls from the coordinator's goroutines
+// and its worker subprocesses onto one underlying writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// workerLauncher execs one worker subprocess per attempt, tracking
+// attempt counts per slice so -chaos-kill poisons only the FIRST attempt
+// of its target (the relaunch must be allowed to recover).
+type workerLauncher struct {
+	opts coordOpts
+	exe  string
+	diag io.Writer
+
+	mu       sync.Mutex
+	attempts map[int]int
+}
+
+func (l *workerLauncher) attempt(index int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.attempts == nil {
+		l.attempts = make(map[int]int)
+	}
+	l.attempts[index]++
+	return l.attempts[index]
+}
+
+func (l *workerLauncher) launch(ctx context.Context, t coord.Task) error {
+	o := l.opts
+	attempt := l.attempt(t.Index)
+	p := workerPayload{
+		Chain: o.chain, Endpoint: o.endpoint,
+		From: t.From, To: t.To,
+		Store: o.store, Every: o.every,
+		Workers: o.workers, Ingest: o.ingest, Batch: o.batch, Buffer: o.buffer,
+		Retries: o.retries, Backoff: o.fetchBO,
+		KillAfterCheckpoint: o.chaosKill == t.Index && attempt == 1,
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return retry.Permanent(err)
+	}
+	cmd := exec.CommandContext(ctx, l.exe)
+	cmd.Env = append(os.Environ(), workerEnv+"="+string(raw))
+	cmd.Stdout = l.diag
+	cmd.Stderr = l.diag
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("worker %s (attempt %d): %w", t.Name(), attempt, err)
+	}
+	return nil
+}

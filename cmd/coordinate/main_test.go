@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/cli"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/eos"
+	"repro/internal/rpcserve"
+)
+
+// TestMain doubles this test binary as the worker executable: when the
+// coordinator under test execs os.Executable() with the payload env set,
+// the subprocess lands here and runs workerMain instead of the tests —
+// so the chaos tests SIGKILL REAL processes, not simulated ones.
+func TestMain(m *testing.M) {
+	if payload := os.Getenv(workerEnv); payload != "" {
+		os.Exit(workerMain(payload, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// newEOSServer serves a deterministic EOS chainsim over real HTTP so
+// worker subprocesses can reach it.
+func newEOSServer(t *testing.T, nBlocks int) *httptest.Server {
+	t.Helper()
+	c := eos.New(eos.DefaultConfig(1000))
+	alice, bob := eos.MustName("alice"), eos.MustName("bob")
+	for _, n := range []eos.Name{alice, bob} {
+		if err := c.CreateAccount(n, eos.SystemAccount); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Tokens().Transfer(eos.TokenAccount, eos.SystemAccount, n, chain.EOSAsset(1_000_0000)); err != nil {
+			t.Fatal(err)
+		}
+		c.Resources().Stake(&c.GetAccount(n).Resources, 100_0000, 100_0000)
+	}
+	for i := 0; i < nBlocks; i++ {
+		c.PushTransaction(eos.NewAction(eos.TokenAccount, eos.ActTransfer, alice, map[string]string{
+			"from": "alice", "to": "bob", "quantity": "0.0001 EOS",
+		}))
+		c.ProduceBlock()
+	}
+	srv := httptest.NewServer(rpcserve.NewEOSServer(c))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// blackout wraps an EOS server, answering 500 for every get_block inside
+// [lo, hi] — a range of history that is permanently dark.
+func blackout(t *testing.T, inner *httptest.Server, lo, hi int64) *httptest.Server {
+	t.Helper()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/get_block") {
+			body, _ := io.ReadAll(r.Body)
+			var req struct {
+				Num json.Number `json:"block_num_or_id"`
+			}
+			json.Unmarshal(body, &req)
+			num, _ := req.Num.Int64()
+			if num >= lo && num <= hi {
+				http.Error(w, "blackout", http.StatusInternalServerError)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		inner.Config.Handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(proxy.Close)
+	return proxy
+}
+
+func eosHead(t *testing.T, url string) int64 {
+	t.Helper()
+	head, err := collect.NewEOSClient(url).Head(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return head
+}
+
+// oracle crawls [1, to] in one process and renders the figures — the
+// byte-identity reference the distributed runs are diffed against.
+func oracle(t *testing.T, url string, to int64) string {
+	t.Helper()
+	kit, err := core.NewStatsKit("eos", chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.IngestCrawl(context.Background(), collect.NewEOSClient(url),
+		collect.CrawlConfig{From: 1, To: to, Workers: 4},
+		kit.Decoder, core.IngestConfig{}); err != nil {
+		t.Fatalf("oracle crawl: %v", err)
+	}
+	return kit.Summarize().Render()
+}
+
+func testOpts(endpoint, store string) coordOpts {
+	return coordOpts{
+		chain: "eos", endpoint: endpoint, from: 1, to: 0,
+		shards: 3, store: store, every: 5,
+		leaseTTL: time.Minute, attempts: 8, backoff: 5 * time.Millisecond,
+		workers: 2, ingest: 2, batch: 4, buffer: 8,
+		retries: 2, fetchBO: 5 * time.Millisecond,
+	}
+}
+
+// TestCoordinateChaosKillResume is the command-level chaos acceptance
+// path: seeded store faults on every blob operation AND a worker
+// subprocess SIGKILLed right after its first checkpoint. The coordinator
+// must relaunch it, the relaunch must resume from the checkpoint, and
+// the merged figures must be byte-identical to a single-process crawl.
+func TestCoordinateChaosKillResume(t *testing.T) {
+	srv := newEOSServer(t, 45)
+	head := eosHead(t, srv.URL)
+	want := oracle(t, srv.URL, head)
+
+	dir := t.TempDir()
+	o := testOpts(srv.URL, "faulty+file://"+filepath.Join(dir, "store")+"?fault=0.01&fault-seed=7")
+	o.gapReport = filepath.Join(dir, "gaps.json")
+	o.chaosKill = 2
+
+	var out, diag bytes.Buffer
+	if err := run(context.Background(), o, &out, &diag); err != nil {
+		t.Fatalf("coordinate under chaos: %v\n%s", err, diag.String())
+	}
+	if out.String() != want {
+		t.Errorf("merged figures differ from single-process oracle\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+	// The SIGKILL really happened and was retried, not dodged.
+	if !strings.Contains(diag.String(), "signal: killed") {
+		t.Errorf("chaos kill never fired:\n%s", diag.String())
+	}
+	if !strings.Contains(diag.String(), "resuming:") {
+		t.Errorf("relaunched worker did not resume from its checkpoint:\n%s", diag.String())
+	}
+
+	raw, err := os.ReadFile(o.gapReport)
+	if err != nil {
+		t.Fatalf("gap report not written: %v", err)
+	}
+	var report struct {
+		Complete bool             `json:"complete"`
+		Missing  []map[string]any `json:"missing"`
+		Failures []map[string]any `json:"failures"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("gap report is not JSON: %v\n%s", err, raw)
+	}
+	if !report.Complete || len(report.Missing) != 0 || len(report.Failures) != 0 {
+		t.Errorf("complete run's gap report claims gaps:\n%s", raw)
+	}
+}
+
+// TestCoordinateGapReportPartial: one slice's history is permanently
+// dark. The run must exit non-nil but still print the partial figures
+// and write a gap report naming exactly the missing range.
+func TestCoordinateGapReportPartial(t *testing.T) {
+	inner := newEOSServer(t, 30)
+	head := eosHead(t, inner.URL)
+	spec := cli.ShardSpec{I: 2, N: 3}
+	lo, hi, err := spec.Cut(1, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := blackout(t, inner, lo, hi)
+
+	dir := t.TempDir()
+	o := testOpts(srv.URL, "file://"+filepath.Join(dir, "store"))
+	o.to = head
+	o.attempts = 2
+	o.retries = 0
+	o.gapReport = filepath.Join(dir, "gaps.json")
+
+	var out, diag bytes.Buffer
+	err = run(context.Background(), o, &out, &diag)
+	if err == nil {
+		t.Fatalf("run with a dark slice reported success:\n%s", diag.String())
+	}
+	if !strings.Contains(err.Error(), "partial") {
+		t.Errorf("error %v does not say the figures are partial", err)
+	}
+	if !strings.Contains(out.String(), "--- eos figures ---") {
+		t.Errorf("degraded run printed no partial figures:\n%s", out.String())
+	}
+
+	raw, rerr := os.ReadFile(o.gapReport)
+	if rerr != nil {
+		t.Fatalf("gap report not written: %v", rerr)
+	}
+	var report struct {
+		Complete bool `json:"complete"`
+		Missing  []struct {
+			From int64 `json:"from"`
+			To   int64 `json:"to"`
+		} `json:"missing"`
+		Failures []struct {
+			Task  string `json:"task"`
+			Error string `json:"error"`
+		} `json:"failures"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("gap report is not JSON: %v\n%s", err, raw)
+	}
+	if report.Complete {
+		t.Errorf("degraded run's report claims completeness:\n%s", raw)
+	}
+	if len(report.Missing) != 1 || report.Missing[0].From != lo || report.Missing[0].To != hi {
+		t.Errorf("missing ranges %+v, want exactly [%d, %d]", report.Missing, lo, hi)
+	}
+	if len(report.Failures) != 1 || !strings.Contains(report.Failures[0].Task, "eos-") {
+		t.Errorf("failures %+v do not name the dark slice", report.Failures)
+	}
+}
+
+// TestWorkerBadPayload: a worker handed garbage refuses with a usage
+// exit code instead of crawling nonsense.
+func TestWorkerBadPayload(t *testing.T) {
+	if code := workerMain("{torn", io.Discard); code != 2 {
+		t.Fatalf("bad payload exit code %d, want 2", code)
+	}
+}

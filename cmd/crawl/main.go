@@ -28,6 +28,14 @@
 // other shards — the merged figures are byte-identical to a single-process
 // crawl, which the CI distributed job diffs.
 //
+// With -checkpoint-every N the shard crawl becomes crash-recoverable: the
+// slice is crawled in chunks of N blocks and after each chunk the FULL
+// aggregate is persisted to the -emit-shard store (internal/coord), so a
+// worker killed at any instant resumes from the last chunk boundary and
+// still emits a complete shard — the resumed blocks live in the decoded
+// checkpoint, not a skipped-frontier file, so nothing is silently short.
+// cmd/coordinate drives fleets of such workers.
+//
 // Usage:
 //
 //	crawl -chain eos   -endpoint http://127.0.0.1:PORT [-checkpoint FILE] [-archive STORE]
@@ -48,24 +56,27 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/blobstore"
 	"repro/internal/chain"
 	"repro/internal/cli"
 	"repro/internal/collect"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/prof"
 )
 
 type crawlOpts struct {
 	cli.ArchiveFlags
-	chain      string
-	endpoint   string
-	checkpoint string
-	workers    int
-	ingest     int
-	batch      int
-	buffer     int
-	shard      cli.ShardSpec
-	emitShard  string
+	chain           string
+	endpoint        string
+	checkpoint      string
+	checkpointEvery int64
+	workers         int
+	ingest          int
+	batch           int
+	buffer          int
+	shard           cli.ShardSpec
+	emitShard       string
 }
 
 func main() {
@@ -73,6 +84,7 @@ func main() {
 	flag.StringVar(&o.chain, "chain", "", "eos, tezos or xrp")
 	flag.StringVar(&o.endpoint, "endpoint", "", "endpoint URL")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: resume from it if present, write it on exit")
+	flag.Int64Var(&o.checkpointEvery, "checkpoint-every", 0, "blocks per crash-recoverable chunk: with -emit-shard, persist the full aggregate to the shard store after each chunk and resume from it after a kill (incompatible with -checkpoint and -archive)")
 	o.ArchiveFlags.Register(flag.CommandLine, cli.ModeCrawl)
 	flag.IntVar(&o.workers, "workers", 4, "concurrent fetchers (xrp uses 1)")
 	flag.IntVar(&o.ingest, "ingest", 2, "decode/ingest workers")
@@ -159,6 +171,51 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "shard:       %s of [%d, %d] -> [%d, %d]\n", o.shard.String(), fullFrom, fullTo, from, to)
+	}
+
+	if o.checkpointEvery > 0 {
+		// Crash-recoverable mode: the crawl runs in chunks and persists the
+		// FULL aggregate to the shard store after each one, so a killed
+		// worker resumes into a shard-emittable state (unlike -checkpoint,
+		// whose frontier file records which blocks are done but not their
+		// contribution to this process's aggregate).
+		if o.emitShard == "" {
+			return fmt.Errorf("-checkpoint-every requires -emit-shard: the crash-recoverable checkpoint lives in the shard store")
+		}
+		if o.checkpoint != "" {
+			return fmt.Errorf("-checkpoint-every is incompatible with -checkpoint: the blob-store checkpoint already carries the full aggregate, pick one")
+		}
+		if o.Archive != "" {
+			return fmt.Errorf("-checkpoint-every is incompatible with -archive: a resumed chunk would re-tee blocks the archive already holds")
+		}
+		if to == 0 {
+			if to, err = fetcher.Head(ctx); err != nil {
+				return fmt.Errorf("resolving head for -checkpoint-every: %w", err)
+			}
+		}
+		store, err := blobstore.Resolve(o.emitShard)
+		if err != nil {
+			return err
+		}
+		outc, err := coord.RunShardCrawl(ctx, coord.CrawlerConfig{
+			Kit: kit, Fetcher: fetcher, From: from, To: to,
+			Store: store, CheckpointEvery: o.checkpointEvery,
+			Workers: o.workers, Ingest: o.ingest, Batch: o.batch, Buffer: o.buffer,
+			Log: out,
+		})
+		fmt.Fprintf(out, "chain:       %s\n", o.chain)
+		fmt.Fprintf(out, "blocks:      %d (retries %d)\n", outc.Blocks, outc.Retries)
+		if outc.Resumed.Known() {
+			fmt.Fprintf(out, "resumed:     %s arrived via the blob-store checkpoint, not refetched\n", outc.Resumed)
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(out, "interrupted — rerun with the same flags to resume from the last checkpoint")
+			}
+			return err
+		}
+		fmt.Fprint(out, kit.Summarize().Render())
+		return nil
 	}
 
 	cfg := collect.CrawlConfig{
@@ -253,7 +310,7 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 		// a range it does not fully cover and the merged figures would be
 		// silently short.
 		if res.Skipped > 0 {
-			return fmt.Errorf("refusing to emit a shard: %d blocks arrived via the checkpoint, not this run's aggregate — rerun without -checkpoint resume to emit", res.Skipped)
+			return fmt.Errorf("refusing to emit a shard: %d blocks arrived via the checkpoint file, not this run's aggregate — use -checkpoint-every instead, whose blob-store checkpoints carry the full aggregate and resume straight into an emittable shard", res.Skipped)
 		}
 		cp := handle.Checkpoint()
 		st := kit.State()

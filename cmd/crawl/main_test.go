@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -16,10 +18,12 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/blobstore"
 	"repro/internal/blobstore/s3stub"
 	"repro/internal/chain"
 	"repro/internal/cli"
 	"repro/internal/collect"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/eos"
 	"repro/internal/rpcserve"
@@ -463,6 +467,132 @@ func TestCrawlShardEmitMerge(t *testing.T) {
 	}
 	if got, wantCov := merged.Covered(), (core.BlockRange{From: 1, To: total}); got != wantCov {
 		t.Fatalf("merged covered %s, want %s", got, wantCov)
+	}
+}
+
+// TestCrawlCheckpointEveryKillResumeEmit: the crash-recoverable shard path
+// end to end — a crawl killed mid-slice resumes from the blob-store
+// checkpoint, refetches nothing the checkpoint covers, and still emits a
+// shard whose figures match an uninterrupted single-process crawl.
+func TestCrawlCheckpointEveryKillResumeEmit(t *testing.T) {
+	const total = 40
+	s := newCountingEOSServer(t, total)
+
+	// Oracle: one uninterrupted process over the whole range.
+	var single bytes.Buffer
+	if err := run(context.Background(), crawlOpts{
+		ArchiveFlags: cli.ArchiveFlags{From: 1},
+		chain:        "eos", endpoint: s.srv.URL,
+		workers: 2, ingest: 2, batch: 4, buffer: 8,
+	}, &single); err != nil {
+		t.Fatalf("single crawl: %v\n%s", err, single.String())
+	}
+	idx := strings.Index(single.String(), "--- eos figures ---")
+	if idx < 0 {
+		t.Fatalf("single crawl printed no figures:\n%s", single.String())
+	}
+	want := single.String()[idx:]
+
+	const store = "mem://crawl-ckpt-every"
+	opts := crawlOpts{
+		ArchiveFlags: cli.ArchiveFlags{From: 1, To: total},
+		chain:        "eos", endpoint: s.srv.URL,
+		workers: 2, ingest: 2, batch: 4, buffer: 8,
+		emitShard: store, checkpointEvery: 8,
+	}
+
+	s.reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.mu.Lock()
+	s.limit, s.interrupt = 18, cancel
+	s.mu.Unlock()
+	var out1 bytes.Buffer
+	if err := run(ctx, opts, &out1); err == nil {
+		t.Fatalf("interrupted run exited clean:\n%s", out1.String())
+	}
+	if !strings.Contains(out1.String(), "rerun with the same flags") {
+		t.Fatalf("interrupted run printed no resume hint:\n%s", out1.String())
+	}
+
+	// The surviving checkpoint defines which blocks must never be refetched.
+	st, err := blobstore.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptKey := coord.CheckpointKey("eos", 1, total)
+	raw, err := st.Get(context.Background(), ckptKey)
+	if err != nil {
+		t.Fatalf("interrupted run left no checkpoint: %v", err)
+	}
+	ck, err := core.DecodeShard(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := ck.Covered()
+	if !cov.Known() || cov.To != total {
+		t.Fatalf("checkpoint covers %s, want a suffix ending at %d", cov, total)
+	}
+
+	s.reset()
+	var out2 bytes.Buffer
+	if err := run(context.Background(), opts, &out2); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out2.String())
+	}
+	for _, num := range s.fetchedNums() {
+		if num >= cov.From && num <= cov.To {
+			t.Errorf("resumed run refetched block %d inside checkpointed range %s", num, cov)
+		}
+	}
+	if !strings.Contains(out2.String(), "resumed:") {
+		t.Fatalf("resumed run did not report the checkpoint it picked up:\n%s", out2.String())
+	}
+
+	shards, err := core.LoadShards(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 {
+		t.Fatalf("loaded %d shards, want 1", len(shards))
+	}
+	if got := shards[0].Summary().Render(); got != want {
+		t.Fatalf("kill-resumed crawl diverged from single process\n--- single ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+	// The emitted shard supersedes the checkpoint.
+	if _, err := st.Get(context.Background(), ckptKey); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("checkpoint survived the shard emit (err %v)", err)
+	}
+}
+
+// TestCrawlCheckpointEveryValidation: the flag combinations that would
+// silently corrupt recovery are refused up front.
+func TestCrawlCheckpointEveryValidation(t *testing.T) {
+	cases := []struct {
+		name, wantSub string
+		mutate        func(*crawlOpts)
+	}{
+		{"without emit-shard", "requires -emit-shard", func(o *crawlOpts) {}},
+		{"with checkpoint file", "incompatible with -checkpoint", func(o *crawlOpts) {
+			o.emitShard, o.checkpoint = "mem://ckpt-every-val", "frontier.ckpt"
+		}},
+		{"with archive", "incompatible with -archive", func(o *crawlOpts) {
+			o.emitShard, o.Archive = "mem://ckpt-every-val", "mem://ckpt-every-arch"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := crawlOpts{
+				ArchiveFlags: cli.ArchiveFlags{From: 1, To: 5},
+				chain:        "eos", endpoint: "http://127.0.0.1:1",
+				workers: 1, ingest: 1, batch: 1, buffer: 1,
+				checkpointEvery: 2,
+			}
+			tc.mutate(&o)
+			err := run(context.Background(), o, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantSub)
+			}
+		})
 	}
 }
 

@@ -53,16 +53,19 @@ func main() {
 // renders the figures. It is the whole command behind flag parsing so
 // tests can drive it hermetically.
 func run(ctx context.Context, locations []string, out, diag io.Writer) error {
-	byChain := make(map[string][]core.ShardState)
+	// Load with provenance: every validation error below names the store
+	// URL and key of the offending blob, so a coordinator log reading
+	// "shards X and Y overlap" points at objects, not just arithmetic.
+	byChain := make(map[string][]core.ShardBlob)
 	for _, loc := range locations {
-		shards, err := core.LoadShards(ctx, loc)
+		blobs, err := core.LoadShardBlobs(ctx, loc)
 		if err != nil {
 			return err
 		}
-		for _, st := range shards {
+		for _, b := range blobs {
 			fmt.Fprintf(diag, "merge: loaded %s shard %s (window %s) from %s\n",
-				st.Chain(), st.Covered(), st.Window(), loc)
-			byChain[st.Chain()] = append(byChain[st.Chain()], st)
+				b.State.Chain(), b.State.Covered(), b.State.Window(), b.Ref())
+			byChain[b.State.Chain()] = append(byChain[b.State.Chain()], b)
 		}
 	}
 	chains := make([]string, 0, len(byChain))
@@ -71,7 +74,7 @@ func run(ctx context.Context, locations []string, out, diag io.Writer) error {
 	}
 	sort.Strings(chains)
 	for _, c := range chains {
-		merged, err := core.MergeShards(byChain[c])
+		merged, _, err := core.MergeShardBlobs(byChain[c], false)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/blobstore"
 	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/rpcserve"
@@ -81,7 +82,8 @@ func TestMergeRendersWholeRange(t *testing.T) {
 }
 
 // TestMergeRefusesOverlap: two stores whose shards overlap must fail
-// loudly, naming the ranges.
+// loudly, naming the ranges AND the offending blobs (store URL + key), so
+// a coordinator log says which objects to inspect.
 func TestMergeRefusesOverlap(t *testing.T) {
 	emitTezosShard(t, "mem://merge-ov-a", 1, 10)
 	emitTezosShard(t, "mem://merge-ov-b", 8, 20)
@@ -89,16 +91,49 @@ func TestMergeRefusesOverlap(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "overlap") {
 		t.Fatalf("overlapping shards merged (err %v)", err)
 	}
+	for _, want := range []string{
+		"tezos-0000000001-0000000010.shard", "at mem://merge-ov-a",
+		"tezos-0000000008-0000000020.shard", "at mem://merge-ov-b",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("overlap error %q does not name %q", err, want)
+		}
+	}
 }
 
 // TestMergeRefusesGap: a missing slice (a shard worker that never finished)
-// must fail loudly, not render short figures.
+// must fail loudly, not render short figures — and name the flanking blobs.
 func TestMergeRefusesGap(t *testing.T) {
 	emitTezosShard(t, "mem://merge-gap", 1, 10)
 	emitTezosShard(t, "mem://merge-gap", 15, 20)
 	err := run(context.Background(), []string{"mem://merge-gap"}, io.Discard, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "gap") {
 		t.Fatalf("gapped shards merged (err %v)", err)
+	}
+	for _, want := range []string{
+		"tezos-0000000001-0000000010.shard", "tezos-0000000015-0000000020.shard", "at mem://merge-gap",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gap error %q does not name %q", err, want)
+		}
+	}
+}
+
+// TestMergeNamesCorruptBlob: an undecodable shard blob error carries the
+// store URL and key.
+func TestMergeNamesCorruptBlob(t *testing.T) {
+	const store = "mem://merge-corrupt"
+	emitTezosShard(t, store, 1, 10)
+	st, err := blobstore.Resolve(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(context.Background(), "tezos-0000000011-0000000020.shard", []byte("not a shard")); err != nil {
+		t.Fatal(err)
+	}
+	err = run(context.Background(), []string{store}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "corrupt shard tezos-0000000011-0000000020.shard at mem://merge-corrupt") {
+		t.Fatalf("corrupt blob error does not name the blob: %v", err)
 	}
 }
 

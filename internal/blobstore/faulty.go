@@ -2,14 +2,35 @@ package blobstore
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
 
+// ErrInjected is the error chaos-mode faults fire with; chaos harnesses
+// assert errors.Is(err, ErrInjected) to tell injected failures from real
+// ones, and retry classification treats it like any transient fault.
+var ErrInjected = errors.New("blobstore: injected fault")
+
+// OpRecord is one entry in a Faulty op-log: the operation, the key it
+// addressed (the prefix, for list), and the injected error if the call
+// was faulted (nil means it passed through to the base store).
+type OpRecord struct {
+	Op  string
+	Key string
+	Err error
+}
+
 // Faulty wraps any Store with injectable failures and latency, so tests
 // can drive the archive's error paths — a Put that dies mid-crawl, a
 // segment fetch that flakes during replay — against every backend without
-// touching a real network or filesystem.
+// touching a real network or filesystem. Faults come in two flavours:
+// deterministic armed faults (Break/BreakAfter: the Nth call fails) and
+// seeded-random chaos (Chaos: each call fails with probability p, the
+// sequence reproducible from the seed). Every call is appended to an
+// op-log for post-mortem assertions.
 type Faulty struct {
 	base Store
 
@@ -17,6 +38,12 @@ type Faulty struct {
 	errs  map[string]*fault
 	delay time.Duration
 	calls map[string]int64
+
+	chaosRand *rand.Rand
+	chaosP    float64
+	chaosOps  map[string]bool // nil = every op
+
+	log []OpRecord
 }
 
 // fault is one armed failure: fire err on every call once `after` more
@@ -48,12 +75,57 @@ func (f *Faulty) BreakAfter(op string, after, times int, err error) {
 	f.errs[op] = &fault{err: err, after: after, times: times}
 }
 
-// Clear disarms every fault and zeroes the delay.
+// Chaos arms seeded-random fault injection: each listed op (every op when
+// none are listed) fails with probability p per call, the error wrapping
+// ErrInjected and naming the op and key. The failure sequence is a pure
+// function of the seed and the order calls reach the store, so a
+// single-goroutine run replays identically; concurrent runs stay
+// reproducible in aggregate (same fault count for the same call count)
+// even when scheduling reorders which call draws which number.
+// Chaos(seed, 0) disarms.
+func (f *Faulty) Chaos(seed int64, p float64, ops ...string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p <= 0 {
+		f.chaosRand, f.chaosP, f.chaosOps = nil, 0, nil
+		return
+	}
+	f.chaosRand = rand.New(rand.NewSource(seed))
+	f.chaosP = p
+	f.chaosOps = nil
+	if len(ops) > 0 {
+		f.chaosOps = make(map[string]bool, len(ops))
+		for _, op := range ops {
+			f.chaosOps[op] = true
+		}
+	}
+}
+
+// Log returns a copy of the op-log: every call since construction (or the
+// last ResetLog), in arrival order, with the injected error when the call
+// was faulted.
+func (f *Faulty) Log() []OpRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]OpRecord, len(f.log))
+	copy(out, f.log)
+	return out
+}
+
+// ResetLog discards the op-log.
+func (f *Faulty) ResetLog() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.log = nil
+}
+
+// Clear disarms every fault — armed and chaos — and zeroes the delay.
 func (f *Faulty) Clear() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.errs = make(map[string]*fault)
 	f.delay = 0
+	f.chaosRand, f.chaosP, f.chaosOps = nil, 0, nil
 }
 
 // Delay makes every operation sleep d before running (0 disables).
@@ -71,9 +143,11 @@ func (f *Faulty) Calls(op string) int64 {
 	return f.calls[op]
 }
 
-// check counts the call, applies any delay, and returns the armed error
-// if the fault fires.
-func (f *Faulty) check(op string) error {
+// check counts the call, applies any delay, logs the op, and returns the
+// armed or chaos-drawn error if a fault fires. Armed faults win over
+// chaos, and a chaos draw happens only on calls no armed fault claimed,
+// so BreakAfter schedules stay exact under chaos.
+func (f *Faulty) check(op, key string) error {
 	f.mu.Lock()
 	f.calls[op]++
 	d := f.delay
@@ -88,6 +162,12 @@ func (f *Faulty) check(op string) error {
 			err = ft.err
 		}
 	}
+	if err == nil && f.chaosRand != nil && (f.chaosOps == nil || f.chaosOps[op]) {
+		if f.chaosRand.Float64() < f.chaosP {
+			err = fmt.Errorf("%w: %s %s", ErrInjected, op, key)
+		}
+	}
+	f.log = append(f.log, OpRecord{Op: op, Key: key, Err: err})
 	f.mu.Unlock()
 	if d > 0 {
 		time.Sleep(d)
@@ -98,42 +178,42 @@ func (f *Faulty) check(op string) error {
 func (f *Faulty) URL() string { return f.base.URL() }
 
 func (f *Faulty) Put(ctx context.Context, key string, data []byte) error {
-	if err := f.check(OpPut); err != nil {
+	if err := f.check(OpPut, key); err != nil {
 		return err
 	}
 	return f.base.Put(ctx, key, data)
 }
 
 func (f *Faulty) Get(ctx context.Context, key string) ([]byte, error) {
-	if err := f.check(OpGet); err != nil {
+	if err := f.check(OpGet, key); err != nil {
 		return nil, err
 	}
 	return f.base.Get(ctx, key)
 }
 
 func (f *Faulty) GetRange(ctx context.Context, key string, off, n int64) ([]byte, error) {
-	if err := f.check(OpGetRange); err != nil {
+	if err := f.check(OpGetRange, key); err != nil {
 		return nil, err
 	}
 	return f.base.GetRange(ctx, key, off, n)
 }
 
 func (f *Faulty) List(ctx context.Context, prefix string) ([]string, error) {
-	if err := f.check(OpList); err != nil {
+	if err := f.check(OpList, prefix); err != nil {
 		return nil, err
 	}
 	return f.base.List(ctx, prefix)
 }
 
 func (f *Faulty) Stat(ctx context.Context, key string) (int64, error) {
-	if err := f.check(OpStat); err != nil {
+	if err := f.check(OpStat, key); err != nil {
 		return 0, err
 	}
 	return f.base.Stat(ctx, key)
 }
 
 func (f *Faulty) Delete(ctx context.Context, key string) error {
-	if err := f.check(OpDelete); err != nil {
+	if err := f.check(OpDelete, key); err != nil {
 		return err
 	}
 	return f.base.Delete(ctx, key)

@@ -51,6 +51,112 @@ func TestFaultyInjection(t *testing.T) {
 	}
 }
 
+func TestFaultyChaosDeterministicFromSeed(t *testing.T) {
+	ctx := context.Background()
+	run := func(seed int64) []bool {
+		f := blobstore.NewFaulty(blobstore.NewMemory())
+		f.Chaos(seed, 0.3)
+		var faults []bool
+		for i := 0; i < 200; i++ {
+			err := f.Put(ctx, "k", []byte("v"))
+			if err != nil && !errors.Is(err, blobstore.ErrInjected) {
+				t.Fatalf("chaos fault is not ErrInjected: %v", err)
+			}
+			faults = append(faults, err != nil)
+		}
+		return faults
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: same seed diverged (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	injected := 0
+	for _, hit := range a {
+		if hit {
+			injected++
+		}
+	}
+	// 200 draws at p=0.3: expect ~60; any count far outside says the
+	// probability is not being applied.
+	if injected < 20 || injected > 120 {
+		t.Errorf("injected %d/200 faults at p=0.3", injected)
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical fault sequences")
+	}
+}
+
+func TestFaultyChaosScopedToOps(t *testing.T) {
+	ctx := context.Background()
+	f := blobstore.NewFaulty(blobstore.NewMemory())
+	f.Chaos(1, 1, blobstore.OpGet) // every Get fails; nothing else does
+	if err := f.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Put under get-only chaos: %v", err)
+	}
+	if _, err := f.Get(ctx, "k"); !errors.Is(err, blobstore.ErrInjected) {
+		t.Fatalf("Get under p=1 chaos: %v", err)
+	}
+	if _, err := f.Stat(ctx, "k"); err != nil {
+		t.Fatalf("Stat under get-only chaos: %v", err)
+	}
+	f.Chaos(1, 0) // disarm
+	if _, err := f.Get(ctx, "k"); err != nil {
+		t.Fatalf("Get after disarm: %v", err)
+	}
+}
+
+func TestFaultyOpLog(t *testing.T) {
+	ctx := context.Background()
+	f := blobstore.NewFaulty(blobstore.NewMemory())
+	boom := errors.New("boom")
+	if err := f.Put(ctx, "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	f.Break(blobstore.OpGet, boom)
+	_, _ = f.Get(ctx, "a")
+	f.Break(blobstore.OpGet, nil)
+	if _, err := f.List(ctx, "pre/"); err != nil {
+		t.Fatal(err)
+	}
+
+	log := f.Log()
+	want := []struct {
+		op, key string
+		faulted bool
+	}{
+		{blobstore.OpPut, "a", false},
+		{blobstore.OpGet, "a", true},
+		{blobstore.OpList, "pre/", false},
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log has %d entries, want %d: %+v", len(log), len(want), log)
+	}
+	for i, w := range want {
+		rec := log[i]
+		if rec.Op != w.op || rec.Key != w.key || (rec.Err != nil) != w.faulted {
+			t.Errorf("log[%d] = %+v, want {%s %s faulted=%v}", i, rec, w.op, w.key, w.faulted)
+		}
+	}
+	if !errors.Is(log[1].Err, boom) {
+		t.Errorf("log[1].Err = %v, want the armed error", log[1].Err)
+	}
+
+	f.ResetLog()
+	if got := f.Log(); len(got) != 0 {
+		t.Errorf("log after reset: %+v", got)
+	}
+}
+
 func TestFaultyDelay(t *testing.T) {
 	f := blobstore.NewFaulty(blobstore.NewMemory())
 	f.Delay(30 * time.Millisecond)

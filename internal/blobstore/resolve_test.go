@@ -2,6 +2,7 @@ package blobstore_test
 
 import (
 	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -83,6 +84,48 @@ func TestResolveMemorySharing(t *testing.T) {
 	keys, err := p.List(ctx, "")
 	if err != nil || len(keys) != 1 || keys[0] != "inner" {
 		t.Fatalf("prefixed List: %v, %v", keys, err)
+	}
+}
+
+// TestResolveFaulty: faulty+URL wraps the inner store in seeded chaos,
+// stripping the fault parameters before the inner backend parses its own.
+func TestResolveFaulty(t *testing.T) {
+	ctx := context.Background()
+	st, err := blobstore.Resolve("faulty+mem://resolve-faulty-test?fault=1&fault-seed=3&fault-ops=get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := st.(*blobstore.Faulty)
+	if !ok {
+		t.Fatalf("Resolve returned %T, want *Faulty", st)
+	}
+	// Only get is armed, at p=1: puts pass, every get fails injected.
+	if err := f.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Put under get-only chaos: %v", err)
+	}
+	if _, err := f.Get(ctx, "k"); !errors.Is(err, blobstore.ErrInjected) {
+		t.Fatalf("Get under p=1 chaos: %v", err)
+	}
+	// The write really landed on the shared inner namespace.
+	inner, err := blobstore.Resolve("mem://resolve-faulty-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := inner.Get(ctx, "k"); err != nil || string(got) != "v" {
+		t.Fatalf("inner store missing the faulty-wrapped write: %q, %v", got, err)
+	}
+
+	for _, c := range []struct{ in, wantErr string }{
+		{"faulty+mem://x", "needs fault=P"},
+		{"faulty+mem://x?fault=1.5", "not a probability"},
+		{"faulty+mem://x?fault=zero", "not a probability"},
+		{"faulty+mem://x?fault=0.5&fault-seed=pi", "not an integer"},
+		{"faulty+mem://x?fault=0.5&fault-ops=teleport", "unknown op"},
+		{"faulty+gopher://hole?fault=0.5", "unsupported scheme"},
+	} {
+		if _, err := blobstore.Resolve(c.in); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Resolve(%q): err %v, want containing %q", c.in, err, c.wantErr)
+		}
 	}
 }
 

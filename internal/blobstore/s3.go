@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -15,6 +14,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // S3 talks to an S3-compatible service over plain net/http — no SDK, so
@@ -120,28 +121,22 @@ func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status >= 500
 }
 
-// do sends one S3 request with retries. The returned response's body is
-// fully read into memory and the connection closed; resp.Body is replaced
-// by the buffered bytes.
+// do sends one S3 request under the shared retry policy: transport
+// errors and retryable statuses (429, 5xx) back off with full jitter and
+// try again; everything else returns on the first attempt. The returned
+// response's body is fully read into memory and the connection closed;
+// resp.Body is replaced by the buffered bytes.
 func (s *S3) do(ctx context.Context, method, key string, query url.Values, header http.Header, body []byte) (*http.Response, []byte, error) {
 	target := s.objectURL(key, query)
-	var lastErr error
-	for attempt := 0; attempt < s.attempts; attempt++ {
-		if attempt > 0 {
-			// Full-jitter exponential backoff, cancellable between tries.
-			max := s.backoff << (attempt - 1)
-			delay := time.Duration(rand.Int63n(int64(max))) + max/2
-			t := time.NewTimer(delay)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return nil, nil, fmt.Errorf("s3: %s %s: %w (last error: %v)", method, key, ctx.Err(), lastErr)
-			case <-t.C:
-			}
-		}
+	var (
+		resp     *http.Response
+		respBody []byte
+	)
+	policy := retry.Policy{Attempts: s.attempts, Base: s.backoff}
+	err := policy.Do(ctx, fmt.Sprintf("s3: %s %s", method, key), func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, method, target, bytes.NewReader(body))
 		if err != nil {
-			return nil, nil, err
+			return retry.Permanent(err)
 		}
 		for k, vs := range header {
 			req.Header[k] = vs
@@ -152,27 +147,25 @@ func (s *S3) do(ctx context.Context, method, key string, query url.Values, heade
 		if s.access != "" {
 			signV4(req, sha256Of(body), s.access, s.secret, s.session, s.region, time.Now().UTC())
 		}
-		resp, err := s.client.Do(req)
+		r, err := s.client.Do(req)
 		if err != nil {
-			if ctx.Err() != nil {
-				return nil, nil, fmt.Errorf("s3: %s %s: %w", method, key, ctx.Err())
-			}
-			lastErr = err
-			continue
+			return err // transport failure: transient
 		}
-		respBody, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		b, err := io.ReadAll(r.Body)
+		r.Body.Close()
 		if err != nil {
-			lastErr = err
-			continue
+			return err // torn body: transient
 		}
-		if retryable(resp.StatusCode) {
-			lastErr = fmt.Errorf("s3: %s %s: %s (%s)", method, key, resp.Status, firstLine(respBody))
-			continue
+		if retryable(r.StatusCode) {
+			return fmt.Errorf("%s (%s)", r.Status, firstLine(b))
 		}
-		return resp, respBody, nil
+		resp, respBody = r, b
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return nil, nil, fmt.Errorf("s3: %s %s: giving up after %d attempts: %w", method, key, s.attempts, lastErr)
+	return resp, respBody, nil
 }
 
 // firstLine abbreviates an error body for messages.

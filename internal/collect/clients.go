@@ -50,6 +50,10 @@ func (e rateLimitError) Error() string {
 	return fmt.Sprintf("collect: rate limited (retry after %v)", e.retryAfter)
 }
 
+// RetryAfter surfaces the server's pacing hint to retry.Policy, which
+// stretches its next backoff to at least this long.
+func (e rateLimitError) RetryAfter() time.Duration { return e.retryAfter }
+
 // EOSClient talks to one nodeos-style endpoint.
 type EOSClient struct {
 	BaseURL string

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // BlockFetcher abstracts one chain endpoint for the crawler.
@@ -114,56 +116,61 @@ func Crawl(ctx context.Context, f BlockFetcher, cfg CrawlConfig, sink Sink) (Cra
 	return res, err
 }
 
+// retryPolicy maps a CrawlConfig onto the shared retry policy: MaxRetries
+// extra attempts after the first, doubling backoff with full jitter, and a
+// keep-trying classifier — a crawl retries every fetch error (endpoints
+// misbehave in ways no static list predicts; Do itself stops when the
+// caller's context ends). Rate-limit errors carry a RetryAfter hint the
+// policy honours over its own schedule.
+func (cfg CrawlConfig) retryPolicy() retry.Policy {
+	attempts := cfg.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	return retry.Policy{
+		Attempts:  attempts,
+		Base:      cfg.Backoff,
+		Retryable: func(error) bool { return true },
+	}
+}
+
 // resolveHead retries the head request with backoff: probe bursts may have
 // momentarily drained an endpoint's rate-limit bucket.
 func resolveHead(ctx context.Context, f BlockFetcher, cfg CrawlConfig) (int64, error) {
-	delay := cfg.Backoff
-	var lastErr error
-	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-time.After(delay):
-			case <-ctx.Done():
-				return 0, ctx.Err()
-			}
-			delay *= 2
-		}
-		head, err := f.Head(ctx)
+	var head int64
+	err := cfg.retryPolicy().Do(ctx, "", func(ctx context.Context) error {
+		h, err := f.Head(ctx)
 		if err == nil {
-			return head, nil
+			head = h
 		}
-		lastErr = err
+		return err
+	})
+	var ex *retry.ExhaustedError
+	if errors.As(err, &ex) {
+		err = ex.Err
 	}
-	return 0, lastErr
+	return head, err
 }
 
 func fetchWithRetry(ctx context.Context, f BlockFetcher, num int64, cfg CrawlConfig, retries *int64) ([]byte, error) {
-	delay := cfg.Backoff
-	var lastErr error
-	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			atomic.AddInt64(retries, 1)
-			select {
-			case <-time.After(delay):
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-			delay *= 2
-		}
-		raw, err := fetchOnce(ctx, f, num, cfg.Pool)
+	var raw []byte
+	p := cfg.retryPolicy()
+	p.OnRetry = func(int, error, time.Duration) { atomic.AddInt64(retries, 1) }
+	err := p.Do(ctx, "", func(ctx context.Context) error {
+		b, err := fetchOnce(ctx, f, num, cfg.Pool)
 		if err == nil {
-			return raw, nil
+			raw = b
 		}
-		lastErr = err
-		var rl rateLimitError
-		if errors.As(err, &rl) && rl.retryAfter > delay {
-			delay = rl.retryAfter
+		return err
+	})
+	if err != nil {
+		var ex *retry.ExhaustedError
+		if errors.As(err, &ex) {
+			return nil, fmt.Errorf("collect: block %d failed after %d retries: %w", num, cfg.MaxRetries, ex.Err)
 		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
+		return nil, err
 	}
-	return nil, fmt.Errorf("collect: block %d failed after %d retries: %w", num, cfg.MaxRetries, lastErr)
+	return raw, nil
 }
 
 // fetchOnce performs a single fetch attempt, holding a shared pool slot

@@ -1,0 +1,74 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/blobstore"
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/rpcserve"
+)
+
+// BenchmarkLeaseClaim measures one full lease cycle — claim (Get, Put,
+// read-back verify) and release — against the in-memory store: the
+// coordination overhead a slice pays before any crawling starts.
+func BenchmarkLeaseClaim(b *testing.B) {
+	store := blobstore.NewMemory()
+	leases := NewLeases(store, "bench", time.Minute)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := leases.Claim(ctx, "bench-task")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := leases.Release(ctx, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardCheckpoint measures one crash-recovery checkpoint: encode
+// the full aggregate state and Put it to the store — the cost a worker
+// pays per completed chunk.
+func BenchmarkShardCheckpoint(b *testing.B) {
+	st, err := core.NewShardState("tezos", chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]any, 0, 256)
+	for num := int64(1); num <= 256; num++ {
+		batch = append(batch, &rpcserve.TezosBlockJSON{
+			Level:     num,
+			Timestamp: chain.ObservationStart.Add(time.Duration(num) * time.Minute).Format(time.RFC3339),
+			Baker:     "tz1baker",
+			Operations: []rpcserve.TezosOperationJSON{
+				{Kind: "endorsement", Source: "tz1alice", Level: num - 1, SlotCount: 2},
+			},
+		})
+	}
+	if err := st.IngestBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	st.SetCovered(core.BlockRange{From: 1, To: 256})
+
+	store := blobstore.NewMemory()
+	key := CheckpointKey("tezos", 1, 256)
+	ctx := context.Background()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := st.EncodeTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Put(ctx, key, buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/blobstore"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/retry"
+)
+
+// Task is one shard slice of the pinned block range: slice Index of N
+// covers [From, To].
+type Task struct {
+	Index, N int
+	Chain    string
+	From, To int64
+}
+
+// Name is the task's lease identity and log label —
+// "eos-0000000001-0000000050", matching the shard key minus suffix.
+func (t Task) Name() string {
+	return fmt.Sprintf("%s-%010d-%010d", t.Chain, t.From, t.To)
+}
+
+// TaskFailure records a slice that exhausted its retries (or hit a
+// permanent error), with the terminal error.
+type TaskFailure struct {
+	Task Task
+	Err  error
+}
+
+// Config parameterizes a coordinator run.
+type Config struct {
+	// Chain names the chain; From and To pin the full block range. To must
+	// be concrete — the caller resolves head ONCE so every slice is cut
+	// from the same span.
+	Chain    string
+	From, To int64
+	// Shards is how many slices to cut the range into.
+	Shards int
+	// Store is the shared blob store: leases, worker checkpoints and shard
+	// blobs all live in it.
+	Store blobstore.Store
+	// Owner names this coordinator in lease records (default
+	// "coordinator").
+	Owner string
+	// LeaseTTL bounds how long a claimed slice may go without renewal
+	// before another coordinator may reclaim it (default 2 minutes).
+	LeaseTTL time.Duration
+	// Retry is the per-slice relaunch policy: each attempt is one full
+	// worker run. Its zero value means the retry package defaults
+	// (4 attempts, 50 ms base backoff).
+	Retry retry.Policy
+	// Parallel bounds how many slices run workers concurrently (default:
+	// all of them).
+	Parallel int
+	// Run launches one worker attempt for a task and blocks until it
+	// exits. cmd/coordinate execs a subprocess (so chaos tests can SIGKILL
+	// it); tests may run in-process. The attempt succeeded only if the
+	// task's shard blob is then present and decodable — Run's nil error
+	// alone is not believed.
+	Run func(ctx context.Context, t Task) error
+	// Log, when set, receives progress lines.
+	Log io.Writer
+}
+
+// Result is a coordinator run's outcome. Merged/Summary are present
+// whenever at least one shard blob validated — even when slices failed —
+// so a degraded run still renders partial figures next to its gap report.
+type Result struct {
+	Tasks     []Task
+	Completed []Task
+	Failed    []TaskFailure
+	Merged    core.ShardState
+	Report    GapReport
+}
+
+// GapReport is the machine-readable account of what a degraded run is
+// missing: the pinned range, the block ranges no validated shard covers,
+// and per-failure detail. Complete runs carry an empty Missing list, so
+// downstream tooling can always parse the same shape.
+type GapReport struct {
+	Chain string `json:"chain"`
+	From  int64  `json:"from"`
+	To    int64  `json:"to"`
+	// Complete is true when every slice's shard validated and Missing is
+	// empty.
+	Complete bool `json:"complete"`
+	// Missing lists the block ranges not covered by any validated shard,
+	// ascending and non-adjacent.
+	Missing []GapRange `json:"missing,omitempty"`
+	// Failures names each failed slice and its terminal error.
+	Failures []GapFailure `json:"failures,omitempty"`
+}
+
+// GapRange is one missing block range, inclusive on both ends.
+type GapRange struct {
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+}
+
+// GapFailure names one failed slice.
+type GapFailure struct {
+	Task  string `json:"task"`
+	From  int64  `json:"from"`
+	To    int64  `json:"to"`
+	Error string `json:"error"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r GapReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Cut slices [cfg.From, cfg.To] into cfg.Shards tasks using the same
+// tiling as cmd/crawl's -shard flag, so a coordinator-driven crawl and a
+// hand-driven one partition identically.
+func (cfg Config) Cut() ([]Task, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("coord: %d shards is not a partition", cfg.Shards)
+	}
+	tasks := make([]Task, 0, cfg.Shards)
+	for i := 1; i <= cfg.Shards; i++ {
+		spec := cli.ShardSpec{I: i, N: cfg.Shards}
+		lo, hi, err := spec.Cut(cfg.From, cfg.To)
+		if err != nil {
+			return nil, fmt.Errorf("coord: %v", err)
+		}
+		tasks = append(tasks, Task{Index: i, N: cfg.Shards, Chain: cfg.Chain, From: lo, To: hi})
+	}
+	return tasks, nil
+}
+
+// Run drives the whole coordinated crawl: cut, claim, launch/relaunch,
+// validate-as-they-arrive, merge. It returns a non-nil Result whenever
+// the run got far enough to cut tasks; err is non-nil when ANY slice
+// failed terminally (the caller decides whether partial figures are
+// acceptable) or when the final merge itself refused.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Owner == "" {
+		cfg.Owner = "coordinator"
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 2 * time.Minute
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	tasks, err := cfg.Cut()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Tasks: tasks}
+	leases := NewLeases(cfg.Store, cfg.Owner, cfg.LeaseTTL)
+
+	parallel := cfg.Parallel
+	if parallel <= 0 || parallel > len(tasks) {
+		parallel = len(tasks)
+	}
+	sem := make(chan struct{}, parallel)
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t Task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			err := runTask(ctx, cfg, leases, t, logf)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				logf("slice %d/%d [%d, %d]: FAILED: %v", t.Index, t.N, t.From, t.To, err)
+				res.Failed = append(res.Failed, TaskFailure{Task: t, Err: err})
+				return
+			}
+			logf("slice %d/%d [%d, %d]: shard validated", t.Index, t.N, t.From, t.To)
+			res.Completed = append(res.Completed, t)
+		}(t)
+	}
+	wg.Wait()
+	sort.Slice(res.Completed, func(i, j int) bool { return res.Completed[i].Index < res.Completed[j].Index })
+	sort.Slice(res.Failed, func(i, j int) bool { return res.Failed[i].Task.Index < res.Failed[j].Task.Index })
+
+	// Final fold: load every emitted shard and merge, tolerating gaps —
+	// failed slices left holes the report accounts for. Overlaps and
+	// corruption stay loud (figures would be WRONG, not just partial), so
+	// merge refusals are marked Permanent; load failures against a flaky
+	// store retry on the same policy as everything else.
+	var gaps []core.BlockRange
+	if len(res.Completed) > 0 {
+		lerr := cfg.Retry.Do(ctx, "merge shards", func(ctx context.Context) error {
+			blobs, err := core.LoadShardBlobsFrom(ctx, cfg.Store)
+			if err != nil {
+				return err
+			}
+			merged, interior, err := core.MergeShardBlobs(blobs, true)
+			if err != nil {
+				return retry.Permanent(err)
+			}
+			res.Merged, gaps = merged, interior
+			return nil
+		})
+		if lerr != nil {
+			return res, lerr
+		}
+		// Edge gaps: blocks of the pinned range before the first or after
+		// the last validated shard.
+		cov := res.Merged.Covered()
+		if cov.From > cfg.From {
+			gaps = append([]core.BlockRange{{From: cfg.From, To: cov.From - 1}}, gaps...)
+		}
+		if cov.To < cfg.To {
+			gaps = append(gaps, core.BlockRange{From: cov.To + 1, To: cfg.To})
+		}
+	} else {
+		// No slice completed — nothing to merge; the report still renders,
+		// with the whole range missing.
+		gaps = []core.BlockRange{{From: cfg.From, To: cfg.To}}
+	}
+
+	res.Report = GapReport{
+		Chain:    cfg.Chain,
+		From:     cfg.From,
+		To:       cfg.To,
+		Complete: len(res.Failed) == 0 && len(gaps) == 0,
+	}
+	for _, g := range gaps {
+		res.Report.Missing = append(res.Report.Missing, GapRange{From: g.From, To: g.To})
+	}
+	for _, f := range res.Failed {
+		res.Report.Failures = append(res.Report.Failures, GapFailure{
+			Task: f.Task.Name(), From: f.Task.From, To: f.Task.To, Error: f.Err.Error(),
+		})
+	}
+	if len(res.Failed) > 0 {
+		return res, fmt.Errorf("coord: %d of %d slices failed; merged figures are partial (see gap report)", len(res.Failed), len(tasks))
+	}
+	if len(gaps) > 0 {
+		return res, fmt.Errorf("coord: merged shards leave %d gap(s) in [%d, %d]; figures are partial (see gap report)", len(gaps), cfg.From, cfg.To)
+	}
+	return res, nil
+}
+
+// runTask claims a task's lease, keeps it renewed, and drives worker
+// attempts under the retry policy until the task's shard blob validates
+// or the budget runs out.
+func runTask(ctx context.Context, cfg Config, leases *Leases, t Task, logf func(string, ...any)) error {
+	// Claiming itself retries: a flaky store or a stale lease from a dead
+	// coordinator should not fail the slice outright. A lease held live by
+	// someone else is permanent for THIS coordinator right now — but held
+	// leases expire, so the claim is retried on the same schedule as
+	// worker attempts, converting "held" into "reclaimable" once the
+	// holder misses renewals.
+	var rec LeaseRecord
+	claim := cfg.Retry
+	claim.Retryable = func(err error) bool {
+		var held *ErrHeld
+		if errors.As(err, &held) {
+			return true // the holder may expire; keep polling
+		}
+		return retry.DefaultRetryable(err)
+	}
+	err := claim.Do(ctx, "claim "+t.Name(), func(ctx context.Context) error {
+		var cerr error
+		rec, cerr = leases.Claim(ctx, t.Name())
+		return cerr
+	})
+	if err != nil {
+		return err
+	}
+	logf("slice %d/%d [%d, %d]: lease claimed (attempt %d)", t.Index, t.N, t.From, t.To, rec.Attempt)
+
+	// Renew the lease at TTL/3 while attempts run. Losing the lease
+	// cancels the worker: a reclaimer owns the slice now.
+	rctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		tick := time.NewTicker(cfg.LeaseTTL / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-rctx.Done():
+				return
+			case <-tick.C:
+				if err := leases.Renew(rctx, &rec); err != nil {
+					var lost *ErrLost
+					if errors.As(err, &lost) {
+						cancel(err)
+						return
+					}
+					// Transient store trouble: the next tick tries again;
+					// the TTL absorbs a few missed renewals.
+				}
+			}
+		}
+	}()
+	defer func() {
+		cancel(nil)
+		<-renewDone
+		_ = leases.Release(context.WithoutCancel(ctx), rec)
+	}()
+
+	policy := cfg.Retry
+	policy.OnRetry = func(attempt int, err error, delay time.Duration) {
+		logf("slice %d/%d [%d, %d]: attempt %d failed (%v), relaunching in %v", t.Index, t.N, t.From, t.To, attempt, err, delay)
+	}
+	if policy.Retryable == nil {
+		// Worker attempts retry on everything but an explicit Permanent
+		// mark. In particular a MISSING shard blob after a clean-looking
+		// exit (fs.ErrNotExist, permanent under the default classification)
+		// is transient here: relaunching the worker is precisely what
+		// rewrites it.
+		policy.Retryable = func(err error) bool { return !retry.IsPermanent(err) }
+	}
+	return policy.Do(rctx, "shard "+t.Name(), func(ctx context.Context) error {
+		if err := cfg.Run(ctx, t); err != nil {
+			return err
+		}
+		// Believe the store, not the worker's exit status: the attempt
+		// counts only if the shard blob landed and decodes.
+		return validateShard(ctx, cfg.Store, t)
+	})
+}
+
+// validateShard fetches and decodes the shard blob a completed task must
+// have emitted, checking it covers exactly the task's slice.
+func validateShard(ctx context.Context, store blobstore.Store, t Task) error {
+	key := t.Name() + ".shard"
+	raw, err := store.Get(ctx, key)
+	if err != nil {
+		return fmt.Errorf("coord: worker exited clean but shard %s is unreadable: %w", key, err)
+	}
+	st, err := core.DecodeShard(raw)
+	if err != nil {
+		return fmt.Errorf("coord: shard %s at %s: %w", key, store.URL(), err)
+	}
+	if cov := st.Covered(); cov.From != t.From || cov.To != t.To {
+		return fmt.Errorf("coord: shard %s covers %s, want [%d, %d]", key, cov, t.From, t.To)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"time"
+
+	"repro/internal/blobstore"
+	"repro/internal/collect"
+	"repro/internal/core"
+)
+
+// CheckpointKey names the crash-recovery blob a shard worker maintains
+// for its slice. The suffix is deliberately not ".shard": LoadShards
+// skips it, so a half-done slice's checkpoint can share the store with
+// finished shards without ever being merged as one.
+func CheckpointKey(chainName string, from, to int64) string {
+	return fmt.Sprintf("ckpt/%s-%010d-%010d.state", chainName, from, to)
+}
+
+// CrawlerConfig parameterizes one shard worker run (RunShardCrawl).
+type CrawlerConfig struct {
+	// Kit is the chain's aggregator stack (core.NewStatsKit) the worker
+	// ingests into.
+	Kit core.StatsKit
+	// Fetcher is the chain endpoint.
+	Fetcher collect.BlockFetcher
+	// From and To bound the slice, inclusive; both must be concrete — a
+	// worker never resolves head itself, the coordinator pinned the range.
+	From, To int64
+	// Store receives the checkpoint blobs and the final shard blob.
+	Store blobstore.Store
+	// CheckpointEvery is the chunk size in blocks: after each chunk of the
+	// reverse-chronological crawl completes, the whole aggregate state is
+	// encoded and atomically Put at CheckpointKey. 0 disables
+	// checkpointing (the slice is one chunk).
+	CheckpointEvery int64
+	// Workers, Ingest, Batch, Buffer tune the crawl/ingest pipeline as in
+	// cmd/crawl.
+	Workers, Ingest, Batch, Buffer int
+	// MaxRetries and Backoff configure per-block fetch retries.
+	MaxRetries int
+	Backoff    time.Duration
+	// Log, when set, receives progress lines.
+	Log io.Writer
+	// AfterCheckpoint, when set, runs after each successful checkpoint Put
+	// with the range the checkpoint covers. Chaos harnesses use it to kill
+	// the worker at a known-recoverable instant; it is never called for
+	// the final shard emit.
+	AfterCheckpoint func(covered core.BlockRange)
+}
+
+// CrawlOutcome summarizes a finished shard worker run.
+type CrawlOutcome struct {
+	// ShardKey is the emitted shard blob's key.
+	ShardKey string
+	// Resumed is the block range a checkpoint let the worker skip
+	// re-crawling (unknown when the run started fresh).
+	Resumed core.BlockRange
+	// Blocks and Retries aggregate the crawl results across chunks.
+	Blocks, Retries int64
+}
+
+// RunShardCrawl crawls one slice with per-chunk crash-recoverable
+// checkpoints, then emits the finished shard blob. The slice is crawled
+// in reverse-chronological chunks of CheckpointEvery blocks; after each
+// chunk the full aggregate (not just a frontier) is encoded with its
+// covered sub-range and atomically Put to the store, so a worker killed
+// at ANY point resumes by decoding the last checkpoint and continuing
+// below it — blocks of the interrupted chunk are refetched in full,
+// blocks of completed chunks are never refetched and never double-
+// ingested (the covered ranges tile exactly). This is what lets
+// -emit-shard accept resumed runs: the decoded checkpoint IS this run's
+// aggregate, nothing was skipped past it.
+//
+// On success the checkpoint blob is deleted best-effort; a leftover one
+// is harmless (its covered range matches the emitted shard and the next
+// fresh run of the same slice overwrites it).
+func RunShardCrawl(ctx context.Context, cfg CrawlerConfig) (CrawlOutcome, error) {
+	if cfg.From < 1 || cfg.To < cfg.From {
+		return CrawlOutcome{}, fmt.Errorf("coord: [%d, %d] is not a crawlable slice", cfg.From, cfg.To)
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	st := cfg.Kit.State()
+	ckptKey := CheckpointKey(cfg.Kit.Chain, cfg.From, cfg.To)
+	var out CrawlOutcome
+
+	// Resume: decode the last checkpoint, if any, into the live aggregate.
+	// A torn or corrupt checkpoint is a loud error, never a silent fresh
+	// start — silently restarting would double-ingest every block the torn
+	// checkpoint covered once the refetched chunks merge with an archive
+	// or a later checkpoint of this very state.
+	hi := cfg.To
+	if raw, err := cfg.Store.Get(ctx, ckptKey); err == nil {
+		if derr := st.DecodeFrom(bytes.NewReader(raw)); derr != nil {
+			return CrawlOutcome{}, fmt.Errorf("coord: checkpoint %s at %s is corrupt: %w (delete it to restart the slice from scratch)",
+				ckptKey, cfg.Store.URL(), derr)
+		}
+		cov := st.Covered()
+		if !cov.Known() || cov.To != cfg.To || cov.From < cfg.From || cov.From > cfg.To {
+			return CrawlOutcome{}, fmt.Errorf("coord: checkpoint %s at %s covers %s, outside this worker's slice [%d, %d] (delete it to restart the slice from scratch)",
+				ckptKey, cfg.Store.URL(), cov, cfg.From, cfg.To)
+		}
+		out.Resumed = cov
+		hi = cov.From - 1
+		logf("resuming:    checkpoint covers %s, continuing below %d", cov, cov.From)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return CrawlOutcome{}, fmt.Errorf("coord: reading checkpoint %s: %w", ckptKey, err)
+	}
+
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = cfg.To - cfg.From + 1 // one chunk: no intermediate checkpoints
+	}
+	for hi >= cfg.From {
+		lo := hi - every + 1
+		if lo < cfg.From {
+			lo = cfg.From
+		}
+		ccfg := collect.CrawlConfig{
+			From: lo, To: hi,
+			Workers: cfg.Workers, Buffer: cfg.Buffer,
+			MaxRetries: cfg.MaxRetries, Backoff: cfg.Backoff,
+		}
+		res, _, err := core.IngestCrawl(ctx, cfg.Fetcher, ccfg, cfg.Kit.Decoder, core.IngestConfig{Workers: cfg.Ingest, Batch: cfg.Batch})
+		out.Blocks += res.Blocks
+		out.Retries += res.Retries
+		if err != nil {
+			return out, fmt.Errorf("coord: chunk [%d, %d]: %w", lo, hi, err)
+		}
+		// The chunk is fully ingested: the aggregate now covers [lo, To].
+		st.SetCovered(core.BlockRange{From: lo, To: cfg.To})
+		if cfg.CheckpointEvery > 0 && lo > cfg.From {
+			var buf bytes.Buffer
+			if err := st.EncodeTo(&buf); err != nil {
+				return out, fmt.Errorf("coord: encoding checkpoint after chunk [%d, %d]: %w", lo, hi, err)
+			}
+			if err := cfg.Store.Put(ctx, ckptKey, buf.Bytes()); err != nil {
+				return out, fmt.Errorf("coord: writing checkpoint %s: %w", ckptKey, err)
+			}
+			logf("checkpoint:  %s (covers [%d, %d])", ckptKey, lo, cfg.To)
+			if cfg.AfterCheckpoint != nil {
+				cfg.AfterCheckpoint(core.BlockRange{From: lo, To: cfg.To})
+			}
+		}
+		hi = lo - 1
+	}
+
+	st.SetCovered(core.BlockRange{From: cfg.From, To: cfg.To})
+	key, err := core.ShardKey(st)
+	if err != nil {
+		return out, err
+	}
+	var buf bytes.Buffer
+	if err := st.EncodeTo(&buf); err != nil {
+		return out, fmt.Errorf("coord: encoding %s shard: %w", st.Chain(), err)
+	}
+	if err := cfg.Store.Put(ctx, key, buf.Bytes()); err != nil {
+		return out, fmt.Errorf("coord: storing shard %s: %w", key, err)
+	}
+	out.ShardKey = key
+	// The shard blob supersedes the checkpoint; losing this Delete only
+	// leaves a stale-but-consistent object behind.
+	_ = cfg.Store.Delete(ctx, ckptKey)
+	logf("emitted:     %s @ %s", key, cfg.Store.URL())
+	return out, nil
+}

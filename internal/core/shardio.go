@@ -53,19 +53,67 @@ func EmitShard(ctx context.Context, location string, st ShardState) (string, err
 	return key, nil
 }
 
+// ShardBlob is one decoded shard blob with its provenance: which store it
+// came from and under which key. Merge validation errors name the blob,
+// not just the range arithmetic, so a coordinator log points straight at
+// the object to inspect or delete.
+type ShardBlob struct {
+	// Store is the resolved store URL the blob was fetched from ("" for
+	// in-process states that never touched a store).
+	Store string
+	// Key is the blob's key in that store.
+	Key string
+	// State is the decoded shard state.
+	State ShardState
+}
+
+// Ref names the blob for error messages: "KEY at STORE" when provenance
+// is known, the covered range otherwise.
+func (b ShardBlob) Ref() string {
+	if b.Key == "" {
+		return b.State.Covered().String()
+	}
+	if b.Store == "" {
+		return b.Key
+	}
+	return b.Key + " at " + b.Store
+}
+
 // LoadShards lists location and decodes every *.shard blob in it. Any
 // undecodable blob is a loud error — a merge over silently dropped shards
 // would render confidently wrong figures.
 func LoadShards(ctx context.Context, location string) ([]ShardState, error) {
+	blobs, err := LoadShardBlobs(ctx, location)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ShardState, len(blobs))
+	for i, b := range blobs {
+		out[i] = b.State
+	}
+	return out, nil
+}
+
+// LoadShardBlobs is LoadShards with provenance: each decoded state carries
+// the store URL and key it came from, which MergeShardBlobs threads into
+// its validation errors.
+func LoadShardBlobs(ctx context.Context, location string) ([]ShardBlob, error) {
 	store, err := blobstore.Resolve(location)
 	if err != nil {
 		return nil, err
 	}
+	return LoadShardBlobsFrom(ctx, store)
+}
+
+// LoadShardBlobsFrom is LoadShardBlobs over an already-open store — the
+// coordinator's path, whose store handle may be wrapped (fault injection)
+// or anonymous (in-memory tests) in ways a URL round-trip would lose.
+func LoadShardBlobsFrom(ctx context.Context, store blobstore.Store) ([]ShardBlob, error) {
 	keys, err := store.List(ctx, "")
 	if err != nil {
 		return nil, fmt.Errorf("core: listing shards at %s: %w", store.URL(), err)
 	}
-	var out []ShardState
+	var out []ShardBlob
 	for _, key := range keys {
 		if !strings.HasSuffix(key, shardSuffix) {
 			continue
@@ -76,9 +124,9 @@ func LoadShards(ctx context.Context, location string) ([]ShardState, error) {
 		}
 		st, err := DecodeShard(blob)
 		if err != nil {
-			return nil, fmt.Errorf("core: shard %s at %s: %w", key, store.URL(), err)
+			return nil, fmt.Errorf("core: corrupt shard %s at %s: %w", key, store.URL(), err)
 		}
-		out = append(out, st)
+		out = append(out, ShardBlob{Store: store.URL(), Key: key, State: st})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no *%s blobs at %s", shardSuffix, store.URL())
@@ -93,48 +141,73 @@ func LoadShards(ctx context.Context, location string) ([]ShardState, error) {
 // (blocks never crawled) is a loud error naming the offending ranges.
 // Merge consumes the sources: they are reset as they fold in.
 func MergeShards(shards []ShardState) (ShardState, error) {
-	if len(shards) == 0 {
-		return nil, fmt.Errorf("core: no shards to merge")
+	blobs := make([]ShardBlob, len(shards))
+	for i, st := range shards {
+		blobs[i] = ShardBlob{State: st}
 	}
-	first := shards[0]
-	for _, st := range shards[1:] {
-		if st.Chain() != first.Chain() {
-			return nil, fmt.Errorf("core: merging shards of different chains (%s and %s)", first.Chain(), st.Chain())
+	merged, _, err := MergeShardBlobs(blobs, false)
+	return merged, err
+}
+
+// MergeShardBlobs is the provenance-aware, optionally gap-tolerant merge
+// behind MergeShards and the coordinator's degraded mode. Chain, window,
+// covered-range and overlap validation are identical to MergeShards —
+// always loud, with errors naming the offending blobs (store URL + key
+// when known). Gaps between sorted shards are an error when allowGaps is
+// false; when true they are returned as the missing block ranges and the
+// shards that did arrive merge anyway — the partial figures a coordinator
+// renders when a slice exhausted its retries, alongside a gap report
+// built from the returned ranges. Merge consumes the source states.
+func MergeShardBlobs(blobs []ShardBlob, allowGaps bool) (ShardState, []BlockRange, error) {
+	if len(blobs) == 0 {
+		return nil, nil, fmt.Errorf("core: no shards to merge")
+	}
+	first := blobs[0]
+	for _, b := range blobs[1:] {
+		if b.State.Chain() != first.State.Chain() {
+			return nil, nil, fmt.Errorf("core: merging shards of different chains (%s shard %s and %s shard %s)",
+				first.State.Chain(), first.Ref(), b.State.Chain(), b.Ref())
 		}
-		if !st.Window().Equal(first.Window()) {
-			return nil, fmt.Errorf("core: merging %s shards with mismatched windows (%s vs %s)",
-				first.Chain(), first.Window(), st.Window())
+		if !b.State.Window().Equal(first.State.Window()) {
+			return nil, nil, fmt.Errorf("core: merging %s shards with mismatched windows (%s has %s, %s has %s)",
+				first.State.Chain(), first.Ref(), first.State.Window(), b.Ref(), b.State.Window())
 		}
 	}
-	sorted := make([]ShardState, len(shards))
-	copy(sorted, shards)
-	for _, st := range sorted {
-		if !st.Covered().Known() {
-			return nil, fmt.Errorf("core: %s shard has no covered block range; refusing to merge blind", st.Chain())
+	sorted := make([]ShardBlob, len(blobs))
+	copy(sorted, blobs)
+	for _, b := range sorted {
+		if !b.State.Covered().Known() {
+			return nil, nil, fmt.Errorf("core: %s shard %s has no covered block range; refusing to merge blind",
+				b.State.Chain(), b.Ref())
 		}
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Covered().From < sorted[j].Covered().From })
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].State.Covered().From < sorted[j].State.Covered().From })
+	var gaps []BlockRange
 	for i := 1; i < len(sorted); i++ {
-		prev, cur := sorted[i-1].Covered(), sorted[i].Covered()
+		pb, cb := sorted[i-1], sorted[i]
+		prev, cur := pb.State.Covered(), cb.State.Covered()
 		if cur.From <= prev.To {
-			return nil, fmt.Errorf("core: %s shards %s and %s overlap: blocks %d..%d would count twice",
-				first.Chain(), prev, cur, cur.From, min64(prev.To, cur.To))
+			return nil, nil, fmt.Errorf("core: %s shards %s %s and %s %s overlap: blocks %d..%d would count twice",
+				first.State.Chain(), pb.Ref(), prev, cb.Ref(), cur, cur.From, min64(prev.To, cur.To))
 		}
 		if cur.From != prev.To+1 {
-			return nil, fmt.Errorf("core: gap between %s shards %s and %s: blocks %d..%d were never crawled",
-				first.Chain(), prev, cur, prev.To+1, cur.From-1)
+			if !allowGaps {
+				return nil, nil, fmt.Errorf("core: gap between %s shards %s %s and %s %s: blocks %d..%d were never crawled",
+					first.State.Chain(), pb.Ref(), prev, cb.Ref(), cur, prev.To+1, cur.From-1)
+			}
+			gaps = append(gaps, BlockRange{From: prev.To + 1, To: cur.From - 1})
 		}
 	}
-	dst, err := NewShardState(first.Chain(), first.Window().Origin, first.Window().Bucket)
+	dst, err := NewShardState(first.State.Chain(), first.State.Window().Origin, first.State.Window().Bucket)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	for _, st := range sorted {
-		if err := dst.Merge(st); err != nil {
-			return nil, err
+	for _, b := range sorted {
+		if err := dst.Merge(b.State); err != nil {
+			return nil, nil, fmt.Errorf("core: merging shard %s: %w", b.Ref(), err)
 		}
 	}
-	return dst, nil
+	return dst, gaps, nil
 }
 
 func min64(a, b int64) int64 {

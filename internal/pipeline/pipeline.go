@@ -95,6 +95,15 @@ type Options struct {
 	// the measurement.
 	ArchiveDir string
 
+	// ResumeArchives makes a partial stage archive — what a run killed
+	// mid-crawl leaves behind — a resume point instead of an error:
+	// archived blocks replay from storage, only the missing ones are
+	// fetched live (and appended), and the rerun still renders the full
+	// figures while leaving complete archive coverage behind. An archive
+	// holding blocks outside the stage's range (a scale or seed change)
+	// stays a loud error either way.
+	ResumeArchives bool
+
 	// ExtraStages are appended to the built-in stage graph. They may
 	// depend on built-in stage names ("eos", "tezos", "xrp",
 	// "governance") via Stage.After. Note that SkipGovernance removes

@@ -1,0 +1,22 @@
+package retry
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkRetryDo measures the policy's overhead on the path that
+// matters: an operation that succeeds first try. Every retried blob-store
+// and fetch call in the tree pays this per invocation.
+func BenchmarkRetryDo(b *testing.B) {
+	p := Policy{Attempts: 4}
+	ctx := context.Background()
+	fn := func(context.Context) error { return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Do(ctx, "bench", fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
