@@ -19,14 +19,30 @@
 // writes a machine-readable gap report (-gap-report) naming the missing
 // block ranges and per-slice errors, and exits non-zero.
 //
+// The coordinator is itself killable. It wins a run-level lease
+// (lease/run-<chain>.lease) before doing anything — exactly one active
+// coordinator per chain — and checkpoints a run-state record
+// (run/<chain>.state) after every task transition: the pinned range,
+// per-slice status, fence tokens and validated shards. A -standby
+// instance polls the election and takes over on lease expiry by loading
+// that state, resuming mid-run instead of re-cutting. Every worker
+// crawls under a fence token (its slice lease's attempt count) stamped
+// into the emitted shard, so a zombie worker whose lease was reclaimed
+// cannot clobber the reclaimer's newer shard — stale fences are refused
+// at validation and merge. While running, the active coordinator serves
+// GET /v1/progress (-progress-addr): the gap-report shape plus per-task
+// lease/attempt/fence status, with the election epoch in X-Coord-Epoch.
+//
 // Usage:
 //
-//	coordinate -chain eos -endpoint URL -to N -shards 4 -store STORE [-checkpoint-every N] [-gap-report FILE]
+//	coordinate -chain eos -endpoint URL -to N -shards 4 -store STORE [-checkpoint-every N] [-gap-report FILE] [-standby] [-progress-addr HOST:PORT]
 //
 // The store may use the faulty+ scheme (see internal/blobstore) to
 // inject seeded random faults; -chaos-kill I additionally SIGKILLs slice
-// I's first worker attempt right after its first checkpoint — the chaos
-// harness the CI chaos job drives.
+// I's first worker attempt right after its first checkpoint, and
+// -chaos-kill-coordinator SIGKILLs the active coordinator itself right
+// after its first slice validates — the chaos harness the CI chaos job
+// drives, with a -standby instance finishing the run.
 package main
 
 import (
@@ -36,6 +52,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -71,6 +89,10 @@ type workerPayload struct {
 	Buffer   int           `json:"buffer"`
 	Retries  int           `json:"retries"`
 	Backoff  time.Duration `json:"backoff"`
+	// Fence is the lease fence token the worker stamps into its emitted
+	// shard — the slice lease's attempt count, granted by the coordinator
+	// that launched this worker.
+	Fence uint64 `json:"fence"`
 	// KillAfterCheckpoint makes the worker SIGKILL itself right after its
 	// first successful checkpoint Put — the chaos harness's way of dying
 	// at a known-recoverable instant.
@@ -78,24 +100,28 @@ type workerPayload struct {
 }
 
 type coordOpts struct {
-	chain     string
-	endpoint  string
-	from, to  int64
-	shards    int
-	store     string
-	every     int64
-	leaseTTL  time.Duration
-	attempts  int
-	backoff   time.Duration
-	parallel  int
-	workers   int
-	ingest    int
-	batch     int
-	buffer    int
-	retries   int
-	fetchBO   time.Duration
-	gapReport string
-	chaosKill int
+	chain          string
+	endpoint       string
+	from, to       int64
+	shards         int
+	store          string
+	every          int64
+	leaseTTL       time.Duration
+	attempts       int
+	backoff        time.Duration
+	parallel       int
+	workers        int
+	ingest         int
+	batch          int
+	buffer         int
+	retries        int
+	fetchBO        time.Duration
+	gapReport      string
+	chaosKill      int
+	owner          string
+	standby        bool
+	progressAddr   string
+	chaosKillCoord bool
 }
 
 func main() {
@@ -125,6 +151,10 @@ func main() {
 	flag.DurationVar(&o.fetchBO, "fetch-backoff", 200*time.Millisecond, "per-block fetch retry base backoff")
 	flag.StringVar(&o.gapReport, "gap-report", "", "write the machine-readable gap report JSON to this file (default: stderr when the run is incomplete)")
 	flag.IntVar(&o.chaosKill, "chaos-kill", 0, "chaos: SIGKILL slice I's first worker attempt after its first checkpoint (0 = off)")
+	flag.StringVar(&o.owner, "owner", "", "coordinator name in lease records (default coordinator-<pid>; must be unique per process)")
+	flag.BoolVar(&o.standby, "standby", false, "stand by: poll the run-level lease and take over the run when the active coordinator's lease expires")
+	flag.StringVar(&o.progressAddr, "progress-addr", "", "serve GET /v1/progress on this host:port while running (503 until the first snapshot)")
+	flag.BoolVar(&o.chaosKillCoord, "chaos-kill-coordinator", false, "chaos: SIGKILL this coordinator right after its first slice validates (a -standby instance must finish the run)")
 	flag.Parse()
 	if o.chain == "" || o.endpoint == "" || o.store == "" {
 		flag.Usage()
@@ -178,7 +208,8 @@ func workerMain(payload string, log io.Writer) int {
 		Store: store, CheckpointEvery: p.Every,
 		Workers: p.Workers, Ingest: p.Ingest, Batch: p.Batch, Buffer: p.Buffer,
 		MaxRetries: p.Retries, Backoff: p.Backoff,
-		Log: log,
+		Fence: p.Fence,
+		Log:   log,
 	}
 	if p.KillAfterCheckpoint {
 		cfg.AfterCheckpoint = func(core.BlockRange) {
@@ -208,25 +239,12 @@ func run(ctx context.Context, o coordOpts, out, diag io.Writer) error {
 	}
 	_ = kit // only validates the chain name; workers build their own kits
 
-	to := o.to
-	if to == 0 {
-		// Resolve head ONCE: every slice is cut from the same pinned span,
-		// never from each worker's own racing notion of "head".
-		var head collect.BlockFetcher
-		switch o.chain {
-		case "eos":
-			head = collect.NewEOSClient(o.endpoint)
-		case "tezos":
-			head = collect.NewTezosClient(o.endpoint)
-		case "xrp":
-			client := collect.NewXRPClient(o.endpoint)
-			defer client.Close()
-			head = client
-		}
-		if to, err = head.Head(ctx); err != nil {
-			return fmt.Errorf("resolving head: %w", err)
-		}
-		fmt.Fprintf(diag, "coordinate: pinned head at %d\n", to)
+	owner := o.owner
+	if owner == "" {
+		// Unique per process: the restart-after-crash re-claim path treats
+		// a live lease under OUR name as ours, so two coordinators must
+		// never share a name by default.
+		owner = fmt.Sprintf("coordinator-%d", os.Getpid())
 	}
 
 	store, err := blobstore.Resolve(o.store)
@@ -238,16 +256,76 @@ func run(ctx context.Context, o coordOpts, out, diag io.Writer) error {
 		return fmt.Errorf("locating worker executable: %w", err)
 	}
 
+	// Progress export: listening from process start, 503 with epoch 0
+	// until the first snapshot publishes — a standby's port answers while
+	// it waits, so pollers can watch the takeover happen.
+	tracker := &coord.ProgressTracker{}
+	if o.progressAddr != "" {
+		ln, lerr := net.Listen("tcp", o.progressAddr)
+		if lerr != nil {
+			return fmt.Errorf("progress listener: %w", lerr)
+		}
+		srv := &http.Server{Handler: coord.NewProgressHandler(tracker)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(diag, "coordinate: progress at http://%s/v1/progress\n", ln.Addr())
+	}
+
 	launcher := &workerLauncher{opts: o, exe: exe, diag: diag}
 	cfg := coord.Config{
-		Chain: o.chain, From: o.from, To: to,
+		Chain: o.chain, From: o.from, To: o.to,
 		Shards:   o.shards,
 		Store:    store,
+		Owner:    owner,
 		LeaseTTL: o.leaseTTL,
 		Retry:    retry.Policy{Attempts: o.attempts, Base: o.backoff},
 		Parallel: o.parallel,
 		Run:      launcher.launch,
 		Log:      diag,
+		Progress: tracker,
+		// Head is resolved lazily, ONCE per run lineage: only when no run
+		// state exists to resume. Every slice is cut from the same pinned
+		// span, never from each worker's own racing notion of "head" — and
+		// a takeover adopts the interrupted run's pin instead of this.
+		PinHead: func(ctx context.Context) (int64, error) {
+			var head collect.BlockFetcher
+			switch o.chain {
+			case "eos":
+				head = collect.NewEOSClient(o.endpoint)
+			case "tezos":
+				head = collect.NewTezosClient(o.endpoint)
+			case "xrp":
+				client := collect.NewXRPClient(o.endpoint)
+				defer client.Close()
+				head = client
+			}
+			to, err := head.Head(ctx)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprintf(diag, "coordinate: pinned head at %d\n", to)
+			return to, nil
+		},
+	}
+	if o.chaosKillCoord {
+		var once sync.Once
+		cfg.AfterTaskDone = func(t coord.Task) {
+			once.Do(func() {
+				fmt.Fprintf(diag, "coordinate: chaos: SIGKILLing active coordinator after slice %d validated\n", t.Index)
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			})
+		}
+	}
+
+	if o.standby {
+		rec, finished, serr := standbyAwait(ctx, o, store, owner, diag)
+		if serr != nil {
+			return serr
+		}
+		if finished {
+			return nil
+		}
+		cfg.RunLease = rec
 	}
 
 	res, runErr := coord.Run(ctx, cfg)
@@ -279,6 +357,64 @@ func run(ctx context.Context, o coordOpts, out, diag io.Writer) error {
 		}
 	}
 	return runErr
+}
+
+// standbyAwait is the standby election loop: poll the run-level lease and
+// run state until this process either wins a takeover (returning the won
+// lease for coord.Run to adopt) or observes the run complete (finished =
+// true). A standby only ever CONTINUES a run — it claims the election
+// only after evidence one exists (a lease record, live or expired, or a
+// run-state checkpoint); a fresh store just keeps it waiting, so starting
+// the standby before the active is safe.
+func standbyAwait(ctx context.Context, o coordOpts, store blobstore.Store, owner string, diag io.Writer) (*coord.LeaseRecord, bool, error) {
+	leases := coord.NewLeases(store, owner, o.leaseTTL)
+	task := coord.RunLeaseTask(o.chain)
+	poll := o.leaseTTL / 3
+	fmt.Fprintf(diag, "coordinate: standby %s: watching %s (poll %v)\n", owner, task, poll)
+	sawRun := false
+	for {
+		_, hasState, serr := coord.LoadRunState(ctx, store, o.chain)
+		if serr != nil {
+			fmt.Fprintf(diag, "coordinate: standby: reading run state (transient): %v\n", serr)
+		}
+		_, hasLease, lerr := leases.Holder(ctx, task)
+		if lerr != nil {
+			fmt.Fprintf(diag, "coordinate: standby: reading run lease (transient): %v\n", lerr)
+		}
+		if hasState || hasLease {
+			sawRun = true
+		}
+		switch {
+		case sawRun && !hasState && !hasLease:
+			// Completion deletes the state, then the lease record; death
+			// leaves the record behind (expired). Both gone after a run we
+			// watched means it finished.
+			fmt.Fprintf(diag, "coordinate: standby: run for %s completed; standing down\n", o.chain)
+			return nil, true, nil
+		case sawRun && (hasState || hasLease):
+			rec, cerr := leases.Claim(ctx, task)
+			if cerr == nil {
+				if _, ok, err := coord.LoadRunState(ctx, store, o.chain); err == nil && !ok {
+					// Won the election but the state is gone: the active
+					// completed between our probe and the claim.
+					_ = leases.Release(ctx, rec)
+					fmt.Fprintf(diag, "coordinate: standby: run for %s completed; standing down\n", o.chain)
+					return nil, true, nil
+				}
+				fmt.Fprintf(diag, "coordinate: standby %s: taking over %s (epoch %d)\n", owner, o.chain, rec.Attempt)
+				return &rec, false, nil
+			}
+			var held *coord.ErrHeld
+			if !errors.As(cerr, &held) {
+				fmt.Fprintf(diag, "coordinate: standby: election claim (transient): %v\n", cerr)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
 }
 
 // syncWriter serializes Write calls from the coordinator's goroutines
@@ -325,6 +461,7 @@ func (l *workerLauncher) launch(ctx context.Context, t coord.Task) error {
 		Store: o.store, Every: o.every,
 		Workers: o.workers, Ingest: o.ingest, Batch: o.batch, Buffer: o.buffer,
 		Retries: o.retries, Backoff: o.fetchBO,
+		Fence:               t.Fence,
 		KillAfterCheckpoint: o.chaosKill == t.Index && attempt == 1,
 	}
 	raw, err := json.Marshal(p)

@@ -1,15 +1,19 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -24,12 +28,88 @@ import (
 // TestMain doubles this test binary as the worker executable: when the
 // coordinator under test execs os.Executable() with the payload env set,
 // the subprocess lands here and runs workerMain instead of the tests —
-// so the chaos tests SIGKILL REAL processes, not simulated ones.
+// so the chaos tests SIGKILL REAL processes, not simulated ones. The
+// coordEnv trampoline does the same for a whole ACTIVE COORDINATOR, so
+// the standby-takeover test can SIGKILL a real coordinator process.
+// workerEnv wins when both are set: a worker launched by a trampolined
+// coordinator inherits the coordinator's env.
 func TestMain(m *testing.M) {
 	if payload := os.Getenv(workerEnv); payload != "" {
 		os.Exit(workerMain(payload, os.Stderr))
 	}
+	if payload := os.Getenv(coordEnv); payload != "" {
+		os.Exit(coordMain(payload))
+	}
 	os.Exit(m.Run())
+}
+
+// coordEnv carries a full coordinator configuration into a re-exec'd test
+// binary, turning it into a real, killable active coordinator process.
+const coordEnv = "COORDINATE_COORD_OPTS"
+
+// coordPayload mirrors coordOpts with exported fields for the JSON
+// round-trip through coordEnv.
+type coordPayload struct {
+	Chain          string        `json:"chain"`
+	Endpoint       string        `json:"endpoint"`
+	From           int64         `json:"from"`
+	To             int64         `json:"to"`
+	Shards         int           `json:"shards"`
+	Store          string        `json:"store"`
+	Every          int64         `json:"every"`
+	LeaseTTL       time.Duration `json:"lease_ttl"`
+	Attempts       int           `json:"attempts"`
+	Backoff        time.Duration `json:"backoff"`
+	Parallel       int           `json:"parallel"`
+	Workers        int           `json:"workers"`
+	Ingest         int           `json:"ingest"`
+	Batch          int           `json:"batch"`
+	Buffer         int           `json:"buffer"`
+	Retries        int           `json:"retries"`
+	FetchBO        time.Duration `json:"fetch_backoff"`
+	GapReport      string        `json:"gap_report"`
+	ChaosKill      int           `json:"chaos_kill"`
+	Owner          string        `json:"owner"`
+	Standby        bool          `json:"standby"`
+	ProgressAddr   string        `json:"progress_addr"`
+	ChaosKillCoord bool          `json:"chaos_kill_coordinator"`
+}
+
+func payloadFrom(o coordOpts) coordPayload {
+	return coordPayload{
+		Chain: o.chain, Endpoint: o.endpoint, From: o.from, To: o.to,
+		Shards: o.shards, Store: o.store, Every: o.every,
+		LeaseTTL: o.leaseTTL, Attempts: o.attempts, Backoff: o.backoff,
+		Parallel: o.parallel, Workers: o.workers, Ingest: o.ingest,
+		Batch: o.batch, Buffer: o.buffer, Retries: o.retries, FetchBO: o.fetchBO,
+		GapReport: o.gapReport, ChaosKill: o.chaosKill, Owner: o.owner,
+		Standby: o.standby, ProgressAddr: o.progressAddr, ChaosKillCoord: o.chaosKillCoord,
+	}
+}
+
+func (p coordPayload) opts() coordOpts {
+	return coordOpts{
+		chain: p.Chain, endpoint: p.Endpoint, from: p.From, to: p.To,
+		shards: p.Shards, store: p.Store, every: p.Every,
+		leaseTTL: p.LeaseTTL, attempts: p.Attempts, backoff: p.Backoff,
+		parallel: p.Parallel, workers: p.Workers, ingest: p.Ingest,
+		batch: p.Batch, buffer: p.Buffer, retries: p.Retries, fetchBO: p.FetchBO,
+		gapReport: p.GapReport, chaosKill: p.ChaosKill, owner: p.Owner,
+		standby: p.Standby, progressAddr: p.ProgressAddr, chaosKillCoord: p.ChaosKillCoord,
+	}
+}
+
+func coordMain(payload string) int {
+	var p coordPayload
+	if err := json.Unmarshal([]byte(payload), &p); err != nil {
+		fmt.Fprintf(os.Stderr, "coordinator trampoline: bad payload: %v\n", err)
+		return 2
+	}
+	if err := run(context.Background(), p.opts(), os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "coordinate:", err)
+		return 1
+	}
+	return 0
 }
 
 // newEOSServer serves a deterministic EOS chainsim over real HTTP so
@@ -222,6 +302,199 @@ func TestCoordinateGapReportPartial(t *testing.T) {
 	}
 	if len(report.Failures) != 1 || !strings.Contains(report.Failures[0].Task, "eos-") {
 		t.Errorf("failures %+v do not name the dark slice", report.Failures)
+	}
+}
+
+// delayProxy wraps an EOS server with a fixed per-get_block delay so a
+// coordinated crawl lives long enough to be observed (and killed)
+// mid-run.
+func delayProxy(t *testing.T, inner *httptest.Server, d time.Duration) *httptest.Server {
+	t.Helper()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/get_block") {
+			time.Sleep(d)
+		}
+		inner.Config.Handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(proxy.Close)
+	return proxy
+}
+
+// TestCoordinateStandbyTakeover is the coordinator-kill chaos leg: a REAL
+// active coordinator process (this test binary, re-exec'd through the
+// coordEnv trampoline) SIGKILLs itself right after its first slice
+// validates, under 1% injected store faults. A -standby instance watching
+// the same store must take over on lease expiry, resume from the run
+// state, and finish with figures byte-identical to the single-process
+// oracle. While the active lives, its /v1/progress endpoint must serve a
+// parseable mid-run gap report.
+func TestCoordinateStandbyTakeover(t *testing.T) {
+	inner := newEOSServer(t, 45)
+	head := eosHead(t, inner.URL)
+	want := oracle(t, inner.URL, head)
+	srv := delayProxy(t, inner, 20*time.Millisecond)
+
+	dir := t.TempDir()
+	storeLoc := "faulty+file://" + filepath.Join(dir, "store") + "?fault=0.01&fault-seed=11"
+
+	// The active: short lease TTL so its death is detected quickly, chaos
+	// kill armed, progress served on an ephemeral port the test discovers
+	// from the diagnostic line.
+	o := testOpts(srv.URL, storeLoc)
+	o.leaseTTL = time.Second
+	o.backoff = 50 * time.Millisecond
+	o.owner = "active-coordinator"
+	o.progressAddr = "127.0.0.1:0"
+	o.chaosKillCoord = true
+
+	payload, err := json.Marshal(payloadFrom(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), coordEnv+"="+string(payload))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var activeOut bytes.Buffer
+	cmd.Stdout = &activeOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scan the active's stderr live: capture everything for post-mortem
+	// assertions and surface the progress address as soon as it prints.
+	addrCh := make(chan string, 1)
+	var activeDiag strings.Builder
+	var diagMu sync.Mutex
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			diagMu.Lock()
+			activeDiag.WriteString(line + "\n")
+			diagMu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "coordinate: progress at http://"); ok {
+				select {
+				case addrCh <- strings.TrimSuffix(rest, "/v1/progress"):
+				default:
+				}
+			}
+		}
+	}()
+	diag := func() string {
+		diagMu.Lock()
+		defer diagMu.Unlock()
+		return activeDiag.String()
+	}
+
+	// The standby watches the same store from this process, concurrently
+	// with the active — exercising the held-election wait path too.
+	so := testOpts(srv.URL, storeLoc)
+	so.leaseTTL = time.Second
+	so.backoff = 50 * time.Millisecond
+	so.attempts = 10 // claim polling must outlive the dead active's task leases
+	so.owner = "standby-coordinator"
+	so.standby = true
+	so.gapReport = filepath.Join(dir, "gaps.json")
+	var standbyOut, standbyDiag bytes.Buffer
+	standbyErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	go func() { standbyErr <- run(ctx, so, &standbyOut, &standbyDiag) }()
+
+	// Mid-run: the active's progress endpoint must serve a parseable
+	// gap-report-shaped snapshot before the kill lands.
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("active never announced its progress address:\n%s", diag())
+	}
+	var progress struct {
+		Report struct {
+			Chain    string `json:"chain"`
+			From     int64  `json:"from"`
+			To       int64  `json:"to"`
+			Complete bool   `json:"complete"`
+		} `json:"report"`
+		Epoch int `json:"epoch"`
+	}
+	polled := false
+	for start := time.Now(); time.Since(start) < 15*time.Second && !polled; {
+		resp, perr := http.Get("http://" + addr + "/v1/progress")
+		if perr != nil {
+			break // the active is already dead; the kill beat the poll
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if jerr := json.Unmarshal(body, &progress); jerr != nil {
+				t.Fatalf("mid-run progress is not JSON: %v\n%s", jerr, body)
+			}
+			if progress.Report.Chain != "eos" || progress.Report.From != 1 || progress.Report.To != head {
+				t.Errorf("mid-run progress report: %+v, want [1, %d] on eos", progress.Report, head)
+			}
+			if progress.Report.Complete {
+				t.Error("mid-run progress claims completion")
+			}
+			if got := resp.Header.Get("X-Coord-Epoch"); got != fmt.Sprint(progress.Epoch) {
+				t.Errorf("X-Coord-Epoch %q does not match body epoch %d", got, progress.Epoch)
+			}
+			polled = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The kill is real: the active dies by SIGKILL, not a clean exit.
+	werr := cmd.Wait()
+	<-scanDone
+	if werr == nil || !strings.Contains(werr.Error(), "signal: killed") {
+		t.Fatalf("active coordinator exit: %v, want SIGKILL\n%s", werr, diag())
+	}
+	if !strings.Contains(diag(), "chaos: SIGKILLing active coordinator") {
+		t.Fatalf("chaos kill never armed:\n%s", diag())
+	}
+	if !polled {
+		t.Logf("note: active died before a mid-run progress poll landed")
+	}
+
+	// The standby takes over and finishes the run completely.
+	var serr error
+	select {
+	case serr = <-standbyErr:
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("standby never finished:\n%s", standbyDiag.String())
+	}
+	if serr != nil {
+		t.Fatalf("standby takeover run: %v\n%s", serr, standbyDiag.String())
+	}
+	if !strings.Contains(standbyDiag.String(), "taking over eos") {
+		t.Fatalf("standby never took over:\n%s", standbyDiag.String())
+	}
+	if standbyOut.String() != want {
+		t.Errorf("standby-merged figures differ from single-process oracle\n--- got ---\n%s--- want ---\n%s", standbyOut.String(), want)
+	}
+	raw, err := os.ReadFile(so.gapReport)
+	if err != nil {
+		t.Fatalf("gap report not written: %v", err)
+	}
+	var report struct {
+		Complete bool             `json:"complete"`
+		Missing  []map[string]any `json:"missing"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("gap report is not JSON: %v\n%s", err, raw)
+	}
+	if !report.Complete || len(report.Missing) != 0 {
+		t.Errorf("takeover run's gap report claims gaps:\n%s", raw)
 	}
 }
 

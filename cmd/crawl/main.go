@@ -34,7 +34,11 @@
 // worker killed at any instant resumes from the last chunk boundary and
 // still emits a complete shard — the resumed blocks live in the decoded
 // checkpoint, not a skipped-frontier file, so nothing is silently short.
-// cmd/coordinate drives fleets of such workers.
+// cmd/coordinate drives fleets of such workers, handing each a -fence
+// token (its slice lease's attempt count) that is stamped into the
+// emitted shard; a worker whose lease was reclaimed mid-crawl emits a
+// stale fence that validation and merge refuse, so it cannot clobber the
+// reclaimer's newer shard.
 //
 // Usage:
 //
@@ -77,6 +81,7 @@ type crawlOpts struct {
 	buffer          int
 	shard           cli.ShardSpec
 	emitShard       string
+	fence           uint64
 }
 
 func main() {
@@ -92,6 +97,7 @@ func main() {
 	flag.IntVar(&o.buffer, "buffer", 64, "stream buffer: max fetched-but-unprocessed blocks")
 	flag.Var(&o.shard, "shard", "crawl shard i of n ('i/n'): fetch only the i-th contiguous slice of the block range (distributed crawl; combine with -emit-shard and cmd/merge)")
 	flag.StringVar(&o.emitShard, "emit-shard", "", "after a clean crawl, serialize the drained shard state into this blob-store location for cmd/merge")
+	flag.Uint64Var(&o.fence, "fence", 0, "lease fence token to stamp into the emitted shard (set by cmd/coordinate; a stale fence is refused at validation and merge)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -201,7 +207,8 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 			Kit: kit, Fetcher: fetcher, From: from, To: to,
 			Store: store, CheckpointEvery: o.checkpointEvery,
 			Workers: o.workers, Ingest: o.ingest, Batch: o.batch, Buffer: o.buffer,
-			Log: out,
+			Fence: o.fence,
+			Log:   out,
 		})
 		fmt.Fprintf(out, "chain:       %s\n", o.chain)
 		fmt.Fprintf(out, "blocks:      %d (retries %d)\n", outc.Blocks, outc.Retries)
@@ -315,7 +322,7 @@ func run(ctx context.Context, o crawlOpts, out io.Writer) error {
 		cp := handle.Checkpoint()
 		st := kit.State()
 		st.SetCovered(core.BlockRange{From: cp.From, To: cp.To})
-		key, serr := core.EmitShard(ctx, o.emitShard, st)
+		key, serr := core.EmitShardFenced(ctx, o.emitShard, st, o.fence)
 		if serr != nil {
 			return serr
 		}

@@ -10,7 +10,10 @@
 // Validation is loud by design: mixed chains in one merge group, mismatched
 // aggregation windows, overlapping shard ranges (blocks counted twice) and
 // gaps (blocks never crawled) are all hard errors naming the offending
-// shards, never silently "merged around".
+// shards, never silently "merged around". Fences are verified too: each
+// store's lease and run-state records (coord.FenceIndex) are folded into a
+// per-task fence floor, and a shard stamped with an older fence — a zombie
+// worker's emission, superseded by a lease reclaim — is refused by name.
 //
 // Usage:
 //
@@ -30,6 +33,8 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/blobstore"
+	"repro/internal/coord"
 	"repro/internal/core"
 )
 
@@ -56,17 +61,37 @@ func run(ctx context.Context, locations []string, out, diag io.Writer) error {
 	// Load with provenance: every validation error below names the store
 	// URL and key of the offending blob, so a coordinator log reading
 	// "shards X and Y overlap" points at objects, not just arithmetic.
+	// Alongside the shards, each store's lease lineage is folded into one
+	// fence-floor index: floors union across stores by max, since a task's
+	// lease record and its shard may live in different stores of the pool.
 	byChain := make(map[string][]core.ShardBlob)
+	minFence := make(map[string]uint64)
 	for _, loc := range locations {
-		blobs, err := core.LoadShardBlobs(ctx, loc)
+		store, err := blobstore.Resolve(loc)
+		if err != nil {
+			return err
+		}
+		blobs, err := core.LoadShardBlobsFrom(ctx, store)
 		if err != nil {
 			return err
 		}
 		for _, b := range blobs {
-			fmt.Fprintf(diag, "merge: loaded %s shard %s (window %s) from %s\n",
-				b.State.Chain(), b.State.Covered(), b.State.Window(), b.Ref())
+			fmt.Fprintf(diag, "merge: loaded %s shard %s (window %s, fence %d) from %s\n",
+				b.State.Chain(), b.State.Covered(), b.State.Window(), b.Fence, b.Ref())
 			byChain[b.State.Chain()] = append(byChain[b.State.Chain()], b)
 		}
+		index, err := coord.FenceIndex(ctx, store)
+		if err != nil {
+			return err
+		}
+		for task, fence := range index {
+			if fence > minFence[task] {
+				minFence[task] = fence
+			}
+		}
+	}
+	if len(minFence) > 0 {
+		fmt.Fprintf(diag, "merge: fence floors recorded for %d task(s)\n", len(minFence))
 	}
 	chains := make([]string, 0, len(byChain))
 	for c := range byChain {
@@ -74,7 +99,7 @@ func run(ctx context.Context, locations []string, out, diag io.Writer) error {
 	}
 	sort.Strings(chains)
 	for _, c := range chains {
-		merged, _, err := core.MergeShardBlobs(byChain[c], false)
+		merged, _, err := core.MergeShardBlobsFenced(byChain[c], false, minFence)
 		if err != nil {
 			return err
 		}

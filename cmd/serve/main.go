@@ -21,8 +21,10 @@
 // STORE is a blob-store location: a plain directory path, file://PATH,
 // mem://NAME, or s3://BUCKET/PREFIX?endpoint=URL.
 //
-// Endpoints: /healthz, /v1/status, /v1/chains, /v1/summary/{chain},
-// /v1/figures[/{chain}], /v1/percentiles/{chain}?p=50,90,99.
+// Endpoints: /healthz (liveness), /readyz (readiness — 503 until the
+// first snapshot epoch publishes), /v1/status, /v1/chains,
+// /v1/summary/{chain}, /v1/figures[/{chain}],
+// /v1/percentiles/{chain}?p=50,90,99.
 package main
 
 import (

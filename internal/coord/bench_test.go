@@ -10,6 +10,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/rpcserve"
+	"repro/internal/wire"
 )
 
 // BenchmarkLeaseClaim measures one full lease cycle — claim (Get, Put,
@@ -27,6 +28,58 @@ func BenchmarkLeaseClaim(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := leases.Release(ctx, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunStateCheckpoint measures one coordinator run-state
+// checkpoint — marshal the full task map and Put it — the cost the
+// coordinator pays on EVERY task transition, so it bounds how fine-
+// grained the transitions can afford to be.
+func BenchmarkRunStateCheckpoint(b *testing.B) {
+	state := &RunState{
+		Chain: "eos", From: 1, To: 1_000_000, Shards: 16,
+		Owner: "bench", Epoch: 3,
+		Tasks: make(map[string]*TaskRecord, 16),
+	}
+	span := int64(1_000_000 / 16)
+	for i := 1; i <= 16; i++ {
+		from := int64(i-1)*span + 1
+		t := Task{Index: i, N: 16, Chain: "eos", From: from, To: from + span - 1}
+		state.Tasks[t.Name()] = &TaskRecord{
+			Index: i, From: t.From, To: t.To,
+			State: TaskRunning, Fence: uint64(i), Attempts: 2,
+		}
+	}
+	store := blobstore.NewMemory()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SaveRunState(ctx, store, state); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFenceStamp measures stamping a fence into an already-encoded
+// shard blob (the wire re-seal EncodeShard performs) plus reading it back
+// — the per-emission overhead fencing adds to a worker.
+func BenchmarkFenceStamp(b *testing.B) {
+	st, err := core.NewShardState("eos", chain.ObservationStart, 6*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.SetCovered(core.BlockRange{From: 1, To: 256})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := core.EncodeShard(st, uint64(i%7)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.ShardFence(blob); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -279,6 +279,7 @@ func inProcessWorker(fx *eosFixture, store blobstore.Store, every int64) func(co
 			Kit: kit, Fetcher: fx.fetcher(),
 			From: task.From, To: task.To, Store: store,
 			CheckpointEvery: every, Workers: 2,
+			Fence: task.Fence,
 		})
 		return rerr
 	}

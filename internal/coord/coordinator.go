@@ -14,14 +14,17 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/retry"
+	"repro/internal/wire"
 )
 
 // Task is one shard slice of the pinned block range: slice Index of N
-// covers [From, To].
+// covers [From, To]. Fence is the lease attempt the task currently runs
+// under — the token its worker must stamp into the emitted shard.
 type Task struct {
 	Index, N int
 	Chain    string
 	From, To int64
+	Fence    uint64
 }
 
 // Name is the task's lease identity and log label —
@@ -70,6 +73,22 @@ type Config struct {
 	Run func(ctx context.Context, t Task) error
 	// Log, when set, receives progress lines.
 	Log io.Writer
+
+	// PinHead, when set, resolves the chain head lazily: it is consulted
+	// only when To is zero AND no run state exists — a takeover adopts the
+	// interrupted run's pinned range instead of re-pinning, so every slice
+	// is cut from the same span across coordinator generations.
+	PinHead func(ctx context.Context) (int64, error)
+	// RunLease, when set, is a run-level lease the caller already won
+	// (a standby's Await) — Run adopts it instead of claiming its own.
+	RunLease *LeaseRecord
+	// Progress, when set, receives an immutable snapshot after every task
+	// transition — the feed behind GET /v1/progress.
+	Progress *ProgressTracker
+	// AfterTaskDone, when set, runs after a task transitions to done and
+	// the run state checkpoint for it is written. The chaos harness uses
+	// it to SIGKILL the active coordinator at a known-recoverable instant.
+	AfterTaskDone func(t Task)
 }
 
 // Result is a coordinator run's outcome. Merged/Summary are present
@@ -81,6 +100,11 @@ type Result struct {
 	Failed    []TaskFailure
 	Merged    core.ShardState
 	Report    GapReport
+	// Epoch is the run-level election attempt this coordinator ran under.
+	Epoch int
+	// Resumed reports whether the run picked up an interrupted
+	// coordinator's checkpointed state instead of starting fresh.
+	Resumed bool
 }
 
 // GapReport is the machine-readable account of what a degraded run is
@@ -141,11 +165,19 @@ func (cfg Config) Cut() ([]Task, error) {
 	return tasks, nil
 }
 
-// Run drives the whole coordinated crawl: cut, claim, launch/relaunch,
-// validate-as-they-arrive, merge. It returns a non-nil Result whenever
-// the run got far enough to cut tasks; err is non-nil when ANY slice
-// failed terminally (the caller decides whether partial figures are
-// acceptable) or when the final merge itself refused.
+// Run drives the whole coordinated crawl: elect, resume-or-cut, claim,
+// launch/relaunch, validate-as-they-arrive, merge. It returns a non-nil
+// Result whenever the run got far enough to cut tasks; err is non-nil
+// when ANY slice failed terminally (the caller decides whether partial
+// figures are acceptable) or when the final merge itself refused.
+//
+// High availability: Run first wins the chain's run-level lease (or
+// adopts cfg.RunLease, a standby's already-won election), checkpoints a
+// run-state record after every task transition, and on startup adopts an
+// interrupted run's checkpoint — pinned range, validated shards, fence
+// floors — instead of starting over. The run state is deleted only after
+// a fully successful merge; a partial run leaves it behind so the next
+// coordinator re-attempts exactly the failed slices.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Owner == "" {
 		cfg.Owner = "coordinator"
@@ -158,12 +190,101 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			fmt.Fprintf(cfg.Log, format+"\n", args...)
 		}
 	}
+	leases := NewLeases(cfg.Store, cfg.Owner, cfg.LeaseTTL)
+
+	// Election: exactly one active coordinator per chain. A held lease is
+	// retryable on the same schedule as everything else — the holder may
+	// die and expire. The election attempt count is the coordinator epoch:
+	// it grows monotonically across takeovers, so progress pollers can
+	// detect a change of regime from the X-Coord-Epoch header alone.
+	var runRec LeaseRecord
+	if cfg.RunLease != nil {
+		runRec = *cfg.RunLease
+	} else {
+		claim := cfg.Retry
+		claim.Retryable = func(err error) bool {
+			var held *ErrHeld
+			if errors.As(err, &held) {
+				return true
+			}
+			return retry.DefaultRetryable(err)
+		}
+		err := claim.Do(ctx, "claim "+RunLeaseTask(cfg.Chain), func(ctx context.Context) error {
+			var cerr error
+			runRec, cerr = leases.Claim(ctx, RunLeaseTask(cfg.Chain))
+			return cerr
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	epoch := runRec.Attempt
+	logf("coordinator %s elected active for %s (epoch %d)", cfg.Owner, cfg.Chain, epoch)
+
+	// Keep the run lease renewed. Losing it means a standby decided we
+	// were dead and took over: every in-flight worker must stop, and —
+	// crucially — we must stop writing run state, which the cancellation
+	// enforces because every checkpoint Put runs under rctx.
+	rctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	runRenewDone := keepRenewed(rctx, leases, &runRec, cfg.LeaseTTL, cancel, RunLeaseTask(cfg.Chain), logf)
+	defer func() {
+		cancel(nil)
+		<-runRenewDone
+		_ = leases.Release(context.WithoutCancel(ctx), runRec)
+	}()
+
+	// Resume or pin: an interrupted run's checkpoint wins over fresh
+	// configuration — re-resolving head mid-run would cut different slices
+	// and orphan every emitted shard. A caller that explicitly pinned a
+	// DIFFERENT range than the checkpoint gets a loud conflict, not a
+	// silent adoption.
+	prev, resumed, err := LoadRunState(rctx, cfg.Store, cfg.Chain)
+	if err != nil {
+		return nil, err
+	}
+	if resumed {
+		if cfg.To != 0 && (prev.From != cfg.From || prev.To != cfg.To || prev.Shards != cfg.Shards) {
+			return nil, fmt.Errorf("coord: run state for %s pins [%d, %d] in %d shards, but this run was configured for [%d, %d] in %d; delete %s to abandon the interrupted run",
+				cfg.Chain, prev.From, prev.To, prev.Shards, cfg.From, cfg.To, cfg.Shards, RunStateKey(cfg.Chain))
+		}
+		cfg.From, cfg.To, cfg.Shards = prev.From, prev.To, prev.Shards
+		logf("resuming interrupted run for %s: [%d, %d] in %d shards (previous coordinator %s, epoch %d)",
+			cfg.Chain, cfg.From, cfg.To, cfg.Shards, prev.Owner, prev.Epoch)
+	} else if cfg.To == 0 {
+		if cfg.PinHead == nil {
+			return nil, fmt.Errorf("coord: To is zero, no run state to resume and no PinHead resolver configured")
+		}
+		head, err := cfg.PinHead(rctx)
+		if err != nil {
+			return nil, fmt.Errorf("coord: pinning %s head: %w", cfg.Chain, err)
+		}
+		cfg.To = head
+	}
+
 	tasks, err := cfg.Cut()
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Tasks: tasks}
-	leases := NewLeases(cfg.Store, cfg.Owner, cfg.LeaseTTL)
+	res := &Result{Tasks: tasks, Epoch: epoch, Resumed: resumed}
+
+	state := prev
+	if state == nil {
+		state = &RunState{Chain: cfg.Chain, Tasks: make(map[string]*TaskRecord, len(tasks))}
+	}
+	state.From, state.To, state.Shards = cfg.From, cfg.To, cfg.Shards
+	state.Owner, state.Epoch = cfg.Owner, epoch
+	for _, t := range tasks {
+		if state.Tasks[t.Name()] == nil {
+			state.Tasks[t.Name()] = &TaskRecord{Index: t.Index, From: t.From, To: t.To, State: TaskPending}
+		}
+	}
+	tr := &runTracker{store: cfg.Store, state: state, progress: cfg.Progress, logf: logf}
+	// The first checkpoint pins the range durably before any lease is
+	// claimed — it must land, or a takeover could re-pin a moved head.
+	if err := cfg.Retry.Do(rctx, "checkpoint run state", tr.checkpoint); err != nil {
+		return res, err
+	}
 
 	parallel := cfg.Parallel
 	if parallel <= 0 || parallel > len(tasks) {
@@ -180,16 +301,34 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			err := runTask(ctx, cfg, leases, t, logf)
+			err := runTask(rctx, cfg, leases, t, tr, logf)
+			if err != nil {
+				tr.transition(rctx, t.Name(), func(r *TaskRecord) {
+					r.State = TaskFailed
+					r.Error = err.Error()
+				})
+			} else {
+				tr.transition(rctx, t.Name(), func(r *TaskRecord) {
+					r.State = TaskDone
+					r.ShardKey = t.Name() + ".shard"
+					r.Error = ""
+				})
+			}
 			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
 				logf("slice %d/%d [%d, %d]: FAILED: %v", t.Index, t.N, t.From, t.To, err)
 				res.Failed = append(res.Failed, TaskFailure{Task: t, Err: err})
-				return
+			} else {
+				logf("slice %d/%d [%d, %d]: shard validated", t.Index, t.N, t.From, t.To)
+				res.Completed = append(res.Completed, t)
 			}
-			logf("slice %d/%d [%d, %d]: shard validated", t.Index, t.N, t.From, t.To)
-			res.Completed = append(res.Completed, t)
+			mu.Unlock()
+			if err == nil && cfg.AfterTaskDone != nil {
+				// After the done-transition checkpoint is written: killing
+				// the coordinator here is exactly the recoverable instant
+				// the chaos harness wants to hit.
+				cfg.AfterTaskDone(t)
+			}
 		}(t)
 	}
 	wg.Wait()
@@ -197,18 +336,22 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	sort.Slice(res.Failed, func(i, j int) bool { return res.Failed[i].Task.Index < res.Failed[j].Task.Index })
 
 	// Final fold: load every emitted shard and merge, tolerating gaps —
-	// failed slices left holes the report accounts for. Overlaps and
-	// corruption stay loud (figures would be WRONG, not just partial), so
-	// merge refusals are marked Permanent; load failures against a flaky
-	// store retry on the same policy as everything else.
+	// failed slices left holes the report accounts for. Overlaps,
+	// corruption and stale fences stay loud (figures would be WRONG, not
+	// just partial), so merge refusals are marked Permanent; load failures
+	// against a flaky store retry on the same policy as everything else.
+	// The fence floors come from the run state, which outlives released
+	// task leases — a zombie's stale emission is refused even after the
+	// winning lease record is long deleted.
 	var gaps []core.BlockRange
 	if len(res.Completed) > 0 {
-		lerr := cfg.Retry.Do(ctx, "merge shards", func(ctx context.Context) error {
+		floors := tr.fenceFloors()
+		lerr := cfg.Retry.Do(rctx, "merge shards", func(ctx context.Context) error {
 			blobs, err := core.LoadShardBlobsFrom(ctx, cfg.Store)
 			if err != nil {
 				return err
 			}
-			merged, interior, err := core.MergeShardBlobs(blobs, true)
+			merged, interior, err := core.MergeShardBlobsFenced(blobs, true, floors)
 			if err != nil {
 				return retry.Permanent(err)
 			}
@@ -253,13 +396,129 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if len(gaps) > 0 {
 		return res, fmt.Errorf("coord: merged shards leave %d gap(s) in [%d, %d]; figures are partial (see gap report)", len(gaps), cfg.From, cfg.To)
 	}
+	// Fully successful: retire the run state so the next run of this chain
+	// starts fresh. A partial run deliberately leaves it behind — the next
+	// coordinator resumes and re-attempts exactly the failed slices.
+	if err := cfg.Retry.Do(rctx, "retire run state", func(ctx context.Context) error {
+		return DeleteRunState(ctx, cfg.Store, cfg.Chain)
+	}); err != nil {
+		return res, err
+	}
 	return res, nil
+}
+
+// keepRenewed renews rec at TTL/3 until ctx ends, from a goroutine whose
+// done channel it returns. Losing the lease cancels the context with the
+// loss as cause — the holder must abandon the work; transient renew
+// failures are logged (a store brown-out during a long run must be
+// visible) and absorbed by the TTL, which survives a few missed renewals.
+func keepRenewed(ctx context.Context, leases *Leases, rec *LeaseRecord, ttl time.Duration, cancel context.CancelCauseFunc, name string, logf func(string, ...any)) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if err := leases.Renew(ctx, rec); err != nil {
+					var lost *ErrLost
+					if errors.As(err, &lost) {
+						cancel(err)
+						return
+					}
+					logf("lease %s: renew failed (transient): %v", name, err)
+				}
+			}
+		}
+	}()
+	return done
+}
+
+// runTracker serializes run-state mutation, checkpointing and progress
+// publication. Every transition rewrites the FULL state blob, so a
+// checkpoint lost to a flaky store costs only takeover freshness — the
+// next transition carries this one's changes too — and the tracker can
+// log-and-continue instead of failing the run.
+type runTracker struct {
+	mu       sync.Mutex
+	store    blobstore.Store
+	state    *RunState
+	progress *ProgressTracker
+	logf     func(string, ...any)
+}
+
+// record returns a copy of a task's current record.
+func (tr *runTracker) record(name string) (TaskRecord, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	r := tr.state.Tasks[name]
+	if r == nil {
+		return TaskRecord{}, false
+	}
+	return *r, true
+}
+
+// transition mutates one task's record, checkpoints and publishes.
+func (tr *runTracker) transition(ctx context.Context, name string, mut func(*TaskRecord)) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if r := tr.state.Tasks[name]; r != nil {
+		mut(r)
+	}
+	if err := SaveRunState(ctx, tr.store, tr.state); err != nil {
+		tr.logf("run state checkpoint failed (transient): %v", err)
+	}
+	tr.publishLocked()
+}
+
+// checkpoint saves the current state, loudly — the initial pin-the-range
+// write goes through here under the retry policy.
+func (tr *runTracker) checkpoint(ctx context.Context) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if err := SaveRunState(ctx, tr.store, tr.state); err != nil {
+		return err
+	}
+	tr.publishLocked()
+	return nil
+}
+
+func (tr *runTracker) publishLocked() {
+	if tr.progress != nil {
+		tr.progress.Publish(progressFrom(tr.state))
+	}
+}
+
+// fenceFloors snapshots the per-task fence floors for the final merge.
+func (tr *runTracker) fenceFloors() map[string]uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.state.FenceFloors()
 }
 
 // runTask claims a task's lease, keeps it renewed, and drives worker
 // attempts under the retry policy until the task's shard blob validates
-// or the budget runs out.
-func runTask(ctx context.Context, cfg Config, leases *Leases, t Task, logf func(string, ...any)) error {
+// or the budget runs out. On a resumed run, a slice the previous
+// coordinator already validated is skipped — after re-validating against
+// the store, because trusting a checkpoint over the store would merge a
+// blob nobody checked.
+func runTask(ctx context.Context, cfg Config, leases *Leases, t Task, tr *runTracker, logf func(string, ...any)) error {
+	if prev, ok := tr.record(t.Name()); ok && prev.State == TaskDone {
+		done := t
+		done.Fence = prev.Fence
+		if err := validateShard(ctx, cfg.Store, done); err == nil {
+			logf("slice %d/%d [%d, %d]: validated by a previous coordinator (fence %d), skipping", t.Index, t.N, t.From, t.To, prev.Fence)
+			return nil
+		} else if retry.IsPermanent(err) {
+			return err
+		} else {
+			logf("slice %d/%d [%d, %d]: checkpoint says done but shard no longer validates (%v); relaunching", t.Index, t.N, t.From, t.To, err)
+		}
+	}
+
 	// Claiming itself retries: a flaky store or a stale lease from a dead
 	// coordinator should not fail the slice outright. A lease held live by
 	// someone else is permanent for THIS coordinator right now — but held
@@ -283,34 +542,23 @@ func runTask(ctx context.Context, cfg Config, leases *Leases, t Task, logf func(
 	if err != nil {
 		return err
 	}
-	logf("slice %d/%d [%d, %d]: lease claimed (attempt %d)", t.Index, t.N, t.From, t.To, rec.Attempt)
+	// The claim's attempt count is the task's fence token: it grows on
+	// every reclaim, so the shard a worker emits under this lease outranks
+	// anything a superseded worker may still write.
+	t.Fence = uint64(rec.Attempt)
+	tr.transition(ctx, t.Name(), func(r *TaskRecord) {
+		r.State = TaskRunning
+		if t.Fence > r.Fence {
+			r.Fence = t.Fence
+		}
+	})
+	logf("slice %d/%d [%d, %d]: lease claimed (attempt %d, fence %d)", t.Index, t.N, t.From, t.To, rec.Attempt, t.Fence)
 
 	// Renew the lease at TTL/3 while attempts run. Losing the lease
 	// cancels the worker: a reclaimer owns the slice now.
 	rctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
-	renewDone := make(chan struct{})
-	go func() {
-		defer close(renewDone)
-		tick := time.NewTicker(cfg.LeaseTTL / 3)
-		defer tick.Stop()
-		for {
-			select {
-			case <-rctx.Done():
-				return
-			case <-tick.C:
-				if err := leases.Renew(rctx, &rec); err != nil {
-					var lost *ErrLost
-					if errors.As(err, &lost) {
-						cancel(err)
-						return
-					}
-					// Transient store trouble: the next tick tries again;
-					// the TTL absorbs a few missed renewals.
-				}
-			}
-		}
-	}()
+	renewDone := keepRenewed(rctx, leases, &rec, cfg.LeaseTTL, cancel, t.Name(), logf)
 	defer func() {
 		cancel(nil)
 		<-renewDone
@@ -330,29 +578,53 @@ func runTask(ctx context.Context, cfg Config, leases *Leases, t Task, logf func(
 		policy.Retryable = func(err error) bool { return !retry.IsPermanent(err) }
 	}
 	return policy.Do(rctx, "shard "+t.Name(), func(ctx context.Context) error {
+		tr.transition(ctx, t.Name(), func(r *TaskRecord) { r.Attempts++ })
 		if err := cfg.Run(ctx, t); err != nil {
 			return err
 		}
 		// Believe the store, not the worker's exit status: the attempt
-		// counts only if the shard blob landed and decodes.
+		// counts only if the shard blob landed, decodes, and carries our
+		// fence.
 		return validateShard(ctx, cfg.Store, t)
 	})
 }
 
 // validateShard fetches and decodes the shard blob a completed task must
-// have emitted, checking it covers exactly the task's slice.
+// have emitted, checking it covers exactly the task's slice and — when
+// t.Fence is set — carries exactly the task's fence token. Every refusal
+// names store URL and blob key, so a coordinator log points straight at
+// the object to inspect.
 func validateShard(ctx context.Context, store blobstore.Store, t Task) error {
 	key := t.Name() + ".shard"
 	raw, err := store.Get(ctx, key)
 	if err != nil {
 		return fmt.Errorf("coord: worker exited clean but shard %s is unreadable: %w", key, err)
 	}
+	fence, err := wire.ShardFence(raw)
+	if err != nil {
+		return fmt.Errorf("coord: shard %s at %s: %w", key, store.URL(), err)
+	}
+	if t.Fence != 0 {
+		if fence < t.Fence {
+			// A superseded worker's stale emission overwrote (or preempted)
+			// our worker's blob. Retryable: relaunching under the current
+			// lease rewrites the blob with the current fence.
+			return fmt.Errorf("coord: shard %s at %s carries fence %d, want %d: stale emission from a superseded worker", key, store.URL(), fence, t.Fence)
+		}
+		if fence > t.Fence {
+			// The blob outranks OUR lease lineage: someone reclaimed past us
+			// and already finished the slice. We are the zombie here —
+			// retrying under a stale fence could only waste work, so this
+			// coordinator stands down on the slice permanently.
+			return retry.Permanent(fmt.Errorf("coord: shard %s at %s carries fence %d, newer than our lease attempt %d: this coordinator was superseded on the slice", key, store.URL(), fence, t.Fence))
+		}
+	}
 	st, err := core.DecodeShard(raw)
 	if err != nil {
 		return fmt.Errorf("coord: shard %s at %s: %w", key, store.URL(), err)
 	}
 	if cov := st.Covered(); cov.From != t.From || cov.To != t.To {
-		return fmt.Errorf("coord: shard %s covers %s, want [%d, %d]", key, cov, t.From, t.To)
+		return fmt.Errorf("coord: shard %s at %s covers %s, want [%d, %d]", key, store.URL(), cov, t.From, t.To)
 	}
 	return nil
 }

@@ -82,9 +82,13 @@ func (e *ErrLost) Error() string {
 // claims are advisory and race-detected rather than atomic: Put the
 // record, Get it back, and the nonce that survived owns the lease. Two
 // coordinators racing the same stale lease within one store round-trip
-// can both think they won for that window; the shard blobs they would
-// both emit are identical by the determinism invariant, so the race
-// wastes work but never corrupts figures.
+// can both think they won for that window; the race wastes work but
+// never corrupts figures — and since the Attempt lineage doubles as a
+// fence token stamped into every coordinated shard and verified at
+// validate and merge time (see coordinator.go and
+// core.MergeShardBlobsFenced), that is an enforced invariant, not an
+// assumption: the loser's emission carries an older fence and is
+// refused.
 type Leases struct {
 	store blobstore.Store
 	owner string
@@ -162,6 +166,15 @@ func (l *Leases) put(ctx context.Context, task string, rec LeaseRecord) (LeaseRe
 		return LeaseRecord{}, &ErrLost{Task: task}
 	}
 	return got, nil
+}
+
+// Holder returns the current lease record for task, live or expired;
+// ok=false means no record exists at all. Standbys use it to distinguish
+// "a run exists to watch" from "nothing has started" without the side
+// effect a Claim on a free lease would have: a standby only ever
+// continues a run, never initiates one.
+func (l *Leases) Holder(ctx context.Context, task string) (LeaseRecord, bool, error) {
+	return l.get(ctx, task)
 }
 
 // Claim takes the lease for task: fresh when no record exists, reclaimed

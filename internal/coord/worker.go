@@ -52,6 +52,15 @@ type CrawlerConfig struct {
 	// the worker at a known-recoverable instant; it is never called for
 	// the final shard emit.
 	AfterCheckpoint func(covered core.BlockRange)
+	// Fence, when non-zero, is the lease fence token (the claim Attempt
+	// the coordinator crawls this slice under) stamped into the emitted
+	// shard's envelope, so merge-time fence verification can refuse this
+	// emission if the lease is reclaimed mid-crawl. Checkpoints are
+	// deliberately NOT fenced: their content is deterministic for the
+	// covered range, so a reclaimer resuming from a zombie's checkpoint
+	// ingests identical data — fences protect the merged artifact, not the
+	// scratch space.
+	Fence uint64
 }
 
 // CrawlOutcome summarizes a finished shard worker run.
@@ -159,11 +168,11 @@ func RunShardCrawl(ctx context.Context, cfg CrawlerConfig) (CrawlOutcome, error)
 	if err != nil {
 		return out, err
 	}
-	var buf bytes.Buffer
-	if err := st.EncodeTo(&buf); err != nil {
-		return out, fmt.Errorf("coord: encoding %s shard: %w", st.Chain(), err)
+	blob, err := core.EncodeShard(st, cfg.Fence)
+	if err != nil {
+		return out, err
 	}
-	if err := cfg.Store.Put(ctx, key, buf.Bytes()); err != nil {
+	if err := cfg.Store.Put(ctx, key, blob); err != nil {
 		return out, fmt.Errorf("coord: storing shard %s: %w", key, err)
 	}
 	out.ShardKey = key

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/blobstore"
+	"repro/internal/wire"
 )
 
 // shardSuffix names emitted shard blobs so LoadShards can list a location
@@ -33,8 +34,18 @@ func ShardKey(st ShardState) (string, error) {
 // EmitShard serializes a drained shard state into the blob store at
 // location and returns the key it was stored under. The state must know
 // its covered range — an emitted shard without one could not be validated
-// against gaps and overlaps at merge time.
+// against gaps and overlaps at merge time. The blob is unfenced;
+// coordinated workers emit through EmitShardFenced.
 func EmitShard(ctx context.Context, location string, st ShardState) (string, error) {
+	return EmitShardFenced(ctx, location, st, 0)
+}
+
+// EmitShardFenced is EmitShard with a lease fence token stamped into the
+// blob's envelope (fence 0 emits the unfenced envelope unchanged). A
+// coordinated worker stamps the Attempt of the lease it crawled under, so
+// merge-time fence verification can reject the emission of a zombie whose
+// lease was reclaimed mid-crawl.
+func EmitShardFenced(ctx context.Context, location string, st ShardState, fence uint64) (string, error) {
 	key, err := ShardKey(st)
 	if err != nil {
 		return "", err
@@ -43,14 +54,31 @@ func EmitShard(ctx context.Context, location string, st ShardState) (string, err
 	if err != nil {
 		return "", err
 	}
-	var buf bytes.Buffer
-	if err := st.EncodeTo(&buf); err != nil {
-		return "", fmt.Errorf("core: encoding %s shard: %w", st.Chain(), err)
+	blob, err := EncodeShard(st, fence)
+	if err != nil {
+		return "", err
 	}
-	if err := store.Put(ctx, key, buf.Bytes()); err != nil {
+	if err := store.Put(ctx, key, blob); err != nil {
 		return "", fmt.Errorf("core: storing shard %s: %w", key, err)
 	}
 	return key, nil
+}
+
+// EncodeShard serializes a shard state to its sealed blob, stamping the
+// given fence token (0 = unfenced, byte-identical to EncodeTo's output).
+func EncodeShard(st ShardState, fence uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := st.EncodeTo(&buf); err != nil {
+		return nil, fmt.Errorf("core: encoding %s shard: %w", st.Chain(), err)
+	}
+	if fence == 0 {
+		return buf.Bytes(), nil
+	}
+	blob, err := wire.SetShardFence(buf.Bytes(), fence)
+	if err != nil {
+		return nil, fmt.Errorf("core: fencing %s shard: %w", st.Chain(), err)
+	}
+	return blob, nil
 }
 
 // ShardBlob is one decoded shard blob with its provenance: which store it
@@ -63,6 +91,9 @@ type ShardBlob struct {
 	Store string
 	// Key is the blob's key in that store.
 	Key string
+	// Fence is the lease fence token stamped into the blob's envelope
+	// (0 for unfenced blobs).
+	Fence uint64
 	// State is the decoded shard state.
 	State ShardState
 }
@@ -77,6 +108,21 @@ func (b ShardBlob) Ref() string {
 		return b.Key
 	}
 	return b.Key + " at " + b.Store
+}
+
+// TaskName names the coordinator task that produced the blob — the shard
+// key minus its suffix, or the same "<chain>-<from>-<to>" string rebuilt
+// from the decoded state when the blob never touched a store. It is the
+// key fence floors are looked up under during MergeShardBlobsFenced.
+func (b ShardBlob) TaskName() string {
+	if b.Key != "" {
+		return strings.TrimSuffix(b.Key, shardSuffix)
+	}
+	cov := b.State.Covered()
+	if !cov.Known() {
+		return ""
+	}
+	return fmt.Sprintf("%s-%010d-%010d", b.State.Chain(), cov.From, cov.To)
 }
 
 // LoadShards lists location and decodes every *.shard blob in it. Any
@@ -122,11 +168,15 @@ func LoadShardBlobsFrom(ctx context.Context, store blobstore.Store) ([]ShardBlob
 		if err != nil {
 			return nil, fmt.Errorf("core: fetching shard %s from %s: %w", key, store.URL(), err)
 		}
+		fence, err := wire.ShardFence(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt shard %s at %s: %w", key, store.URL(), err)
+		}
 		st, err := DecodeShard(blob)
 		if err != nil {
 			return nil, fmt.Errorf("core: corrupt shard %s at %s: %w", key, store.URL(), err)
 		}
-		out = append(out, ShardBlob{Store: store.URL(), Key: key, State: st})
+		out = append(out, ShardBlob{Store: store.URL(), Key: key, Fence: fence, State: st})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no *%s blobs at %s", shardSuffix, store.URL())
@@ -159,8 +209,27 @@ func MergeShards(shards []ShardState) (ShardState, error) {
 // renders when a slice exhausted its retries, alongside a gap report
 // built from the returned ranges. Merge consumes the source states.
 func MergeShardBlobs(blobs []ShardBlob, allowGaps bool) (ShardState, []BlockRange, error) {
+	return MergeShardBlobsFenced(blobs, allowGaps, nil)
+}
+
+// MergeShardBlobsFenced is MergeShardBlobs with lease-fence verification:
+// minFence maps a task name (ShardBlob.TaskName) to the newest fence token
+// the store's lease lineage records for that task. A blob stamped with an
+// older fence — or no fence at all, when a floor exists — was emitted by a
+// zombie worker whose lease had already been reclaimed; merging it could
+// fold a stale partial crawl over the reclaimer's complete one, so it is
+// always a loud error, never a gap. Tasks absent from minFence (and every
+// task when minFence is nil) are accepted unchecked: lineage the store no
+// longer remembers cannot be enforced.
+func MergeShardBlobsFenced(blobs []ShardBlob, allowGaps bool, minFence map[string]uint64) (ShardState, []BlockRange, error) {
 	if len(blobs) == 0 {
 		return nil, nil, fmt.Errorf("core: no shards to merge")
+	}
+	for _, b := range blobs {
+		if want, ok := minFence[b.TaskName()]; ok && b.Fence < want {
+			return nil, nil, fmt.Errorf("core: %s shard %s carries fence %d but the lease lineage requires at least %d: refusing a stale emission from a superseded worker",
+				b.State.Chain(), b.Ref(), b.Fence, want)
+		}
 	}
 	first := blobs[0]
 	for _, b := range blobs[1:] {

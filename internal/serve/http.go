@@ -18,6 +18,7 @@ import (
 // X-Serve-Epoch, X-Serve-Published (RFC3339Nano) and X-Serve-Age-Ms.
 //
 //	GET /healthz                      liveness
+//	GET /readyz                       readiness: 503 until the first epoch
 //	GET /v1/status                    epoch, staleness, per-chain progress
 //	GET /v1/chains                    registered chain names
 //	GET /v1/summary/{chain}           one chain's summary as JSON
@@ -31,6 +32,22 @@ func NewHandler(p *Publisher) http.Handler {
 		stamp(w, p)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+
+	// Readiness is distinct from liveness: a server that accepted its
+	// socket but has not published epoch 1 yet would answer /v1/* from the
+	// empty placeholder snapshot — well-formed but vacuous. Load balancers
+	// and smoke tests gate on /readyz so traffic only arrives once real
+	// figures are behind it.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		snap := stamp(w, p)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if snap.Epoch == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "no snapshot published yet")
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {

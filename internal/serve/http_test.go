@@ -16,6 +16,29 @@ func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
 	return w
 }
 
+// TestHandlerReadyzBeforeFirstEpoch pins the liveness/readiness split: a
+// freshly-listening server is alive (200 /healthz) but not ready (503
+// /readyz) until its first snapshot publishes, so a load balancer never
+// routes traffic to the empty placeholder snapshot.
+func TestHandlerReadyzBeforeFirstEpoch(t *testing.T) {
+	p := NewPublisher()
+	h := NewHandler(p)
+	if w := get(t, h, "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz before first epoch: %d", w.Code)
+	}
+	w := get(t, h, "/readyz")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before first epoch: %d, want 503", w.Code)
+	}
+	if got := w.Header().Get("X-Serve-Epoch"); got != "0" {
+		t.Fatalf("X-Serve-Epoch = %q, want 0", got)
+	}
+	p.Publish()
+	if w := get(t, h, "/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz after first epoch: %d %q", w.Code, w.Body.String())
+	}
+}
+
 func TestHandlerEndpoints(t *testing.T) {
 	p, agg, release := newEOSPublisher(t)
 	if err := agg.IngestBlocks(eosBlocks(20, 1)); err != nil {
@@ -28,6 +51,13 @@ func TestHandlerEndpoints(t *testing.T) {
 		w := get(t, h, "/healthz")
 		if w.Code != http.StatusOK || strings.TrimSpace(w.Body.String()) != "ok" {
 			t.Fatalf("healthz: %d %q", w.Code, w.Body.String())
+		}
+	})
+
+	t.Run("readyz", func(t *testing.T) {
+		w := get(t, h, "/readyz")
+		if w.Code != http.StatusOK || strings.TrimSpace(w.Body.String()) != "ready" {
+			t.Fatalf("readyz: %d %q", w.Code, w.Body.String())
 		}
 	})
 

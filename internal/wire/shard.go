@@ -6,7 +6,8 @@
 // Layout of a sealed shard blob:
 //
 //	magic   "SHRD"                      4 bytes
-//	version uvarint                     currently 1
+//	version uvarint                     1 (unfenced) or 2 (fenced)
+//	fence   uvarint                     version 2 only: lease fence token
 //	chain   uvarint length + bytes      archive-manifest chain name
 //	body    uvarint length + bytes      chain-specific field schema
 //	crc32   IEEE, 4 bytes little-endian over everything before it
@@ -16,7 +17,12 @@
 // bit-flipped transfer is rejected by length/checksum, and the chain name
 // routes the body to the right decoder. The body schema itself is
 // versioned implicitly through the envelope version: any field change
-// bumps it.
+// bumps it. Version 2 carries the SAME body schema as version 1 plus one
+// header field — the fence token a coordinated worker stamps from its
+// lease lineage, so a zombie worker's stale shard is detectable before
+// merge (see internal/coord). Version-1 blobs decode unchanged with fence
+// 0 ("unfenced"), and unfenced emits keep producing version 1 so the
+// canonical re-encode property is undisturbed.
 package wire
 
 import (
@@ -31,10 +37,15 @@ import (
 // ShardMagic prefixes every sealed shard blob.
 const ShardMagic = "SHRD"
 
-// ShardVersion is the current shard envelope/schema version. Decoders
-// refuse anything newer: a shard produced by a newer build may carry
-// fields this build would silently drop from the merge.
-const ShardVersion = 1
+// ShardVersion is the newest shard envelope version this build reads and
+// writes. Decoders refuse anything newer: a shard produced by a newer
+// build may carry fields this build would silently drop from the merge.
+const ShardVersion = 2
+
+// shardVersionUnfenced is the version-1 envelope: no fence header. It is
+// still what SealShard emits, so unfenced blobs stay byte-identical to
+// what earlier builds produced.
+const shardVersionUnfenced = 1
 
 // ErrShardCorrupt marks blobs that fail structural validation (bad magic,
 // truncation, checksum mismatch, trailing junk). Use errors.Is to detect.
@@ -221,10 +232,25 @@ func (d *ShardDec) Count() int {
 }
 
 // SealShard wraps an encoded body in the versioned, checksummed envelope.
+// The blob is unfenced (version 1) — SealShardFenced adds a fence token.
 func SealShard(chain string, body []byte) []byte {
-	blob := make([]byte, 0, len(ShardMagic)+len(chain)+len(body)+24)
+	return SealShardFenced(chain, 0, body)
+}
+
+// SealShardFenced wraps an encoded body in the envelope, stamping the
+// lease fence token when non-zero. Fence 0 means "unfenced" and produces
+// the version-1 envelope byte-for-byte, so unfenced blobs stay canonical
+// across builds; any other fence produces the version-2 envelope with the
+// fence header.
+func SealShardFenced(chain string, fence uint64, body []byte) []byte {
+	blob := make([]byte, 0, len(ShardMagic)+len(chain)+len(body)+32)
 	blob = append(blob, ShardMagic...)
-	blob = binary.AppendUvarint(blob, ShardVersion)
+	if fence == 0 {
+		blob = binary.AppendUvarint(blob, shardVersionUnfenced)
+	} else {
+		blob = binary.AppendUvarint(blob, ShardVersion)
+		blob = binary.AppendUvarint(blob, fence)
+	}
 	blob = binary.AppendUvarint(blob, uint64(len(chain)))
 	blob = append(blob, chain...)
 	blob = binary.AppendUvarint(blob, uint64(len(body)))
@@ -233,34 +259,66 @@ func SealShard(chain string, body []byte) []byte {
 }
 
 // OpenShard validates a sealed blob's magic, version, lengths and checksum
-// and returns the chain name and body. The body aliases blob. Every
-// failure mode — truncation anywhere, a flipped bit, trailing junk, a
-// version from the future — is an error, never a panic.
+// and returns the chain name and body, ignoring any fence header. The body
+// aliases blob.
 func OpenShard(blob []byte) (chain string, body []byte, err error) {
+	chain, _, body, err = OpenShardFenced(blob)
+	return chain, body, err
+}
+
+// OpenShardFenced validates a sealed blob's magic, version, lengths and
+// checksum and returns the chain name, fence token (0 for version-1
+// unfenced blobs) and body. The body aliases blob. Every failure mode —
+// truncation anywhere, a flipped bit, trailing junk, a version from the
+// future — is an error, never a panic.
+func OpenShardFenced(blob []byte) (chain string, fence uint64, body []byte, err error) {
 	if len(blob) < len(ShardMagic)+4 {
-		return "", nil, fmt.Errorf("%w: %d bytes is shorter than any sealed shard", ErrShardCorrupt, len(blob))
+		return "", 0, nil, fmt.Errorf("%w: %d bytes is shorter than any sealed shard", ErrShardCorrupt, len(blob))
 	}
 	if string(blob[:len(ShardMagic)]) != ShardMagic {
-		return "", nil, fmt.Errorf("%w: bad magic %q", ErrShardCorrupt, blob[:len(ShardMagic)])
+		return "", 0, nil, fmt.Errorf("%w: bad magic %q", ErrShardCorrupt, blob[:len(ShardMagic)])
 	}
 	sum := binary.LittleEndian.Uint32(blob[len(blob)-4:])
 	if got := crc32.ChecksumIEEE(blob[:len(blob)-4]); got != sum {
-		return "", nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrShardCorrupt, sum, got)
+		return "", 0, nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrShardCorrupt, sum, got)
 	}
 	d := NewShardDec(blob[len(ShardMagic) : len(blob)-4])
 	version := d.Uvarint()
 	if d.Err() == nil && (version == 0 || version > ShardVersion) {
-		return "", nil, fmt.Errorf("wire: shard version %d not supported (this build reads up to %d)", version, ShardVersion)
+		return "", 0, nil, fmt.Errorf("wire: shard version %d not supported (this build reads up to %d)", version, ShardVersion)
+	}
+	if version >= ShardVersion {
+		fence = d.Uvarint()
 	}
 	chain = d.String()
 	n := d.Count()
 	if err := d.Err(); err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
 	body = d.data[d.off : d.off+n]
 	d.off += n
 	if d.Remaining() != 0 {
-		return "", nil, fmt.Errorf("%w: %d trailing bytes after body", ErrShardCorrupt, d.Remaining())
+		return "", 0, nil, fmt.Errorf("%w: %d trailing bytes after body", ErrShardCorrupt, d.Remaining())
 	}
-	return chain, body, nil
+	return chain, fence, body, nil
+}
+
+// ShardFence reads just the fence token of a sealed blob (0 = unfenced).
+// The whole envelope is validated first: a fence read off a corrupt blob
+// would be evidence of nothing.
+func ShardFence(blob []byte) (uint64, error) {
+	_, fence, _, err := OpenShardFenced(blob)
+	return fence, err
+}
+
+// SetShardFence re-seals a sealed blob with the given fence token,
+// preserving chain and body bytes exactly. It is how a worker stamps its
+// lease fence onto a shard its chain-specific encoder produced unfenced —
+// the encoder owns the body schema, the fence is transport metadata.
+func SetShardFence(blob []byte, fence uint64) ([]byte, error) {
+	chain, _, body, err := OpenShardFenced(blob)
+	if err != nil {
+		return nil, err
+	}
+	return SealShardFenced(chain, fence, body), nil
 }
